@@ -1,0 +1,278 @@
+// Benchmarks regenerating every table and figure of the paper (DESIGN.md
+// §3 maps experiment ids to modules). The statistical experiments run at
+// the Quick scale here so `go test -bench=.` finishes in minutes; the
+// EXPERIMENTS.md numbers come from `radar-bench -scale full`, which runs
+// the identical code at the paper's round counts. Each benchmark logs the
+// rendered artifact so the rows/series are visible in the bench output.
+package radar_test
+
+import (
+	"sync"
+	"testing"
+
+	"radar"
+	"radar/internal/attack"
+	"radar/internal/core"
+	"radar/internal/ecc"
+	"radar/internal/exp"
+	"radar/internal/memsim"
+	"radar/internal/model"
+	"radar/internal/quant"
+)
+
+var (
+	ctxOnce  sync.Once
+	benchCtx *exp.Context
+)
+
+// sharedCtx lazily builds one Quick-scale experiment context; the PBFA
+// profiles it caches are shared by every table/figure benchmark.
+func sharedCtx(b *testing.B) *exp.Context {
+	b.Helper()
+	ctxOnce.Do(func() { benchCtx = exp.NewContext(exp.Quick()) })
+	return benchCtx
+}
+
+func BenchmarkTableI(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.TableI(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTableII(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.TableII(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Figure2(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Figure4(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkMissRate(b *testing.B) {
+	opt := exp.Quick()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.MissRate(opt).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.TableIII(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	ctx := sharedCtx(b)
+	t3 := exp.TableIII(ctx)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Figure5(t3).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Figure6(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.TableIV().Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTableV(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.TableV().Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Figure7(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkMSB1(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.MSB1(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkRowhammer(b *testing.B) {
+	ctx := sharedCtx(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Rowhammer(ctx).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkAblationMasking(b *testing.B) {
+	opt := exp.Quick()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.MaskingAblation(opt).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkAblationSigBits(b *testing.B) {
+	opt := exp.Quick()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.SigBitsAblation(opt).Render()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkAblationBatch(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.BatchAmortization().Render()
+	}
+	b.Log("\n" + out)
+}
+
+// --- Throughput microbenchmarks (the raw costs Tables IV/V model) ---
+
+// BenchmarkSignatureScan measures RADAR's software checksum throughput
+// over a ResNet-18-scale weight image (11.7 MB) at G=512, interleaved.
+func BenchmarkSignatureScan(b *testing.B) {
+	q := make([]int8, 1<<22) // 4 MiB layer
+	for i := range q {
+		q[i] = int8(i * 31)
+	}
+	s := core.Scheme{G: 512, Interleave: true, Offset: 3, Key: 0xBEEF, SigBits: 2}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Signatures(q)
+	}
+}
+
+// BenchmarkSignatureScanPlain is the non-interleaved variant.
+func BenchmarkSignatureScanPlain(b *testing.B) {
+	q := make([]int8, 1<<22)
+	for i := range q {
+		q[i] = int8(i * 31)
+	}
+	s := core.Scheme{G: 512, Offset: 3, Key: 0xBEEF, SigBits: 2}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Signatures(q)
+	}
+}
+
+// BenchmarkCRC13Scan measures the bit-serial CRC-13 baseline over the same
+// volume — the software analogue of Table V's time comparison.
+func BenchmarkCRC13Scan(b *testing.B) {
+	q := make([]int8, 1<<22)
+	for i := range q {
+		q[i] = int8(i * 31)
+	}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(q); off += 512 {
+			ecc.CRC13.ComputeInt8(q[off : off+512])
+		}
+	}
+}
+
+// BenchmarkProtectorScan measures a full-model run-time scan on the
+// trained ResNet-18 substitute.
+func BenchmarkProtectorScan(b *testing.B) {
+	bundle := model.Load(model.ResNet18sSpec())
+	prot := radar.Protect(bundle.QModel, radar.DefaultConfig(17))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if flagged := prot.Scan(); len(flagged) != 0 {
+			b.Fatal("clean model flagged")
+		}
+	}
+}
+
+// BenchmarkPBFAFlip measures the cost of one progressive bit-search step
+// on the ResNet-20 substitute (gradient pass + candidate ranking + trials).
+func BenchmarkPBFAFlip(b *testing.B) {
+	bundle := model.Load(model.ResNet20sSpec())
+	cfg := attack.DefaultConfig(1)
+	cfg.NumFlips = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack.PBFA(bundle.QModel, bundle.Attack, cfg)
+	}
+}
+
+// BenchmarkInferenceRN20 measures eval-mode inference throughput of the
+// scaled ResNet-20 (batch 100).
+func BenchmarkInferenceRN20(b *testing.B) {
+	bundle := model.Load(model.ResNet20sSpec())
+	x, _ := bundle.Test.Batch(0, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bundle.Net.Forward(x, false)
+	}
+}
+
+// BenchmarkMemsimRADAR measures the cost-model evaluation itself (cheap;
+// exists so the Table IV pipeline has a perf guard).
+func BenchmarkMemsimRADAR(b *testing.B) {
+	tab := model.ResNet18ImageNetShapes()
+	cm := memsim.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		cm.SimulateRADAR(tab, memsim.RADARConfig{G: 512, Interleave: true, SigBits: 2})
+	}
+}
+
+// BenchmarkQuantizeRN20 measures model quantization.
+func BenchmarkQuantizeRN20(b *testing.B) {
+	bundle := model.Load(model.ResNet20sSpec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.Quantize(bundle.Net)
+	}
+}

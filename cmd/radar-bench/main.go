@@ -1,0 +1,85 @@
+// Command radar-bench regenerates the paper's tables and figures (see
+// DESIGN.md §3 for the experiment index) and prints them in the layout the
+// paper uses. The -scale flag selects quick (test-sized) or full
+// (EXPERIMENTS.md-sized) statistics.
+//
+// Usage:
+//
+//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*] [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"radar/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment id (see DESIGN.md per-experiment index)")
+	scale := flag.String("scale", "full", "statistics scale: quick or full")
+	flag.Parse()
+
+	var opt exp.Options
+	switch *scale {
+	case "quick":
+		opt = exp.Quick()
+	case "full":
+		opt = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	ctx := exp.NewContext(opt)
+
+	type runner struct {
+		id  string
+		run func() string
+	}
+	var t3 *exp.TableIIIResult
+	tableIII := func() exp.TableIIIResult {
+		if t3 == nil {
+			r := exp.TableIII(ctx)
+			t3 = &r
+		}
+		return *t3
+	}
+	runners := []runner{
+		{"table1", func() string { return exp.TableI(ctx).Render() }},
+		{"table2", func() string { return exp.TableII(ctx).Render() }},
+		{"fig2", func() string { return exp.Figure2(ctx).Render() }},
+		{"fig4", func() string { return exp.Figure4(ctx).Render() }},
+		{"missrate", func() string { return exp.MissRate(opt).Render() }},
+		{"table3", func() string { return tableIII().Render() }},
+		{"fig5", func() string { return exp.Figure5(tableIII()).Render() }},
+		{"fig6", func() string { return exp.Figure6(ctx).Render() }},
+		{"table4", func() string { return exp.TableIV().Render() }},
+		{"table5", func() string { return exp.TableV().Render() }},
+		{"fig7", func() string { return exp.Figure7(ctx).Render() }},
+		{"msb1", func() string { return exp.MSB1(ctx).Render() }},
+		{"rowhammer", func() string { return exp.Rowhammer(ctx).Render() }},
+		{"ablation-masking", func() string { return exp.MaskingAblation(opt).Render() }},
+		{"ablation-sigbits", func() string { return exp.SigBitsAblation(opt).Render() }},
+		{"ablation-batch", func() string { return exp.BatchAmortization().Render() }},
+		{"runtime", func() string { return exp.RuntimeDetection(ctx).Render() }},
+		{"engine", func() string { return exp.EngineParity(ctx).Render() }},
+		{"software", func() string { return exp.SoftwareOverhead().Render() }},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *which != "all" && *which != r.id {
+			continue
+		}
+		t0 := time.Now()
+		out := r.run()
+		fmt.Printf("=== %s (%v) ===\n%s\n", r.id, time.Since(t0).Round(time.Millisecond), out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

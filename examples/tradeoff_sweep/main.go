@@ -1,0 +1,53 @@
+// Tradeoff sweep: the Fig 6 / Table V design-space exploration. For each
+// group size, report the secure-storage cost of RADAR's signatures on the
+// full-size ResNet-20/ResNet-18 (where the paper's KB numbers live), the
+// simulated detection time against CRC baselines, and the recovered
+// accuracy measured on the scaled trained model.
+package main
+
+import (
+	"fmt"
+
+	"radar"
+	"radar/internal/attack"
+	"radar/internal/core"
+	"radar/internal/exp"
+	"radar/internal/memsim"
+	"radar/internal/model"
+)
+
+func main() {
+	cm := memsim.DefaultCostModel()
+	full := model.ResNet20CIFARShapes()
+	var weights []int
+	for _, l := range full.Layers {
+		weights = append(weights, l.Weights)
+	}
+
+	// One PBFA profile drives the accuracy column.
+	atk := model.Load(model.ResNet20sSpec())
+	profile := attack.PBFA(atk.QModel, atk.Attack, attack.DefaultConfig(11))
+
+	fmt.Println("ResNet-20 design space (accuracy on scaled model, storage/time on full-size):")
+	fmt.Printf("%-8s %-12s %-14s %-14s %-12s\n", "G", "storage", "RADAR Δt", "CRC-7 Δt", "recovered")
+	for _, g := range []int{4, 8, 16, 32, 64} {
+		st := radar.StorageForWeights(weights, g, 2, true)
+		rt := cm.SimulateRADAR(full, memsim.RADARConfig{G: g, Interleave: true, SigBits: 2})
+		ct := cm.SimulateCRC(full, g)
+
+		victim := model.Load(model.ResNet20sSpec())
+		prot := core.Protect(victim.QModel, core.DefaultConfig(exp.ScaledG(exp.ModelRN20, g)))
+		for _, f := range profile {
+			victim.QModel.FlipBit(f.Addr)
+		}
+		prot.DetectAndRecover()
+		acc := model.Evaluate(victim.Net, victim.Test, 100)
+
+		fmt.Printf("%-8d %-12s %-14s %-14s %-12s\n",
+			g,
+			fmt.Sprintf("%.2f KB", st.SignatureKB()),
+			fmt.Sprintf("%.2f ms", 1000*rt.DetectionSec),
+			fmt.Sprintf("%.2f ms", 1000*ct.DetectionSec),
+			fmt.Sprintf("%.2f%%", 100*acc))
+	}
+}

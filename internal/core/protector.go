@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+
+	"radar/internal/quant"
+)
+
+// Config selects the model-wide RADAR parameters. Per-layer secrets (keys
+// and interleave offsets) are derived from Seed.
+type Config struct {
+	// G is the group size (paper: 8 for ResNet-20, 512 for ResNet-18).
+	G int
+	// Interleave enables the interleaved grouping.
+	Interleave bool
+	// SigBits is 2 or 3 (3 extends protection to MSB-1, §VIII).
+	SigBits int
+	// Seed derives the per-layer secret keys and offsets.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's standard configuration for a given
+// group size: interleaving on, 2-bit signatures.
+func DefaultConfig(g int) Config {
+	return Config{G: g, Interleave: true, SigBits: 2, Seed: 0xADA1}
+}
+
+// GroupID identifies one checksum group of a protected model.
+type GroupID struct {
+	// Layer is the quantized-layer index.
+	Layer int
+	// Group is the group index within the layer.
+	Group int
+}
+
+// Protector binds a RADAR configuration to a quantized model: it holds the
+// per-layer schemes and the golden signatures ("securely stored on-chip").
+type Protector struct {
+	// Model is the protected quantized model.
+	Model *quant.Model
+	// Schemes holds the per-layer scheme (same order as Model.Layers).
+	Schemes []Scheme
+	// Golden holds the per-layer golden signatures.
+	Golden [][]uint8
+}
+
+// Protect computes golden signatures for every quantized layer of m under
+// cfg and returns the Protector. The per-layer 16-bit keys and interleave
+// offsets are drawn from cfg.Seed — these are the secrets of the scheme.
+func Protect(m *quant.Model, cfg Config) *Protector {
+	if cfg.SigBits == 0 {
+		cfg.SigBits = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Protector{Model: m}
+	for _, l := range m.Layers {
+		s := Scheme{
+			G:          cfg.G,
+			Interleave: cfg.Interleave,
+			Offset:     DefaultOffset + rng.Intn(4), // per-layer secret offset
+			Key:        uint16(rng.Intn(1 << KeyBits)),
+			SigBits:    cfg.SigBits,
+		}
+		p.Schemes = append(p.Schemes, s)
+		p.Golden = append(p.Golden, s.Signatures(l.Q))
+	}
+	return p
+}
+
+// Scan recomputes every layer's signatures over the current (possibly
+// corrupted) quantized weights and returns the mismatching groups. This is
+// the operation embedded in the inference weight-fetch path.
+func (p *Protector) Scan() []GroupID {
+	var flagged []GroupID
+	for li, l := range p.Model.Layers {
+		fresh := p.Schemes[li].Signatures(l.Q)
+		for _, j := range Compare(p.Golden[li], fresh) {
+			flagged = append(flagged, GroupID{Layer: li, Group: j})
+		}
+	}
+	return flagged
+}
+
+// ScanLayer scans a single layer (used by the run-time embedded detection,
+// which checks each layer as its weights are fetched).
+func (p *Protector) ScanLayer(li int) []GroupID {
+	fresh := p.Schemes[li].Signatures(p.Model.Layers[li].Q)
+	var flagged []GroupID
+	for _, j := range Compare(p.Golden[li], fresh) {
+		flagged = append(flagged, GroupID{Layer: li, Group: j})
+	}
+	return flagged
+}
+
+// Recover zeroes every weight of every flagged group (de-interleaving back
+// to original positions), resynchronizes the float weights, and refreshes
+// the golden signatures of the zeroed groups so subsequent scans accept the
+// recovered state. It returns the number of weights zeroed.
+func (p *Protector) Recover(flagged []GroupID) int {
+	zeroed := 0
+	for _, g := range flagged {
+		l := p.Model.Layers[g.Layer]
+		s := p.Schemes[g.Layer]
+		for _, i := range s.Members(g.Group, len(l.Q)) {
+			if l.Q[i] != 0 {
+				l.Q[i] = 0
+				zeroed++
+			}
+			l.SyncIndex(i)
+		}
+		// A zeroed group has checksum 0 → signature 0.
+		p.Golden[g.Layer][g.Group] = s.Binarize(0)
+	}
+	return zeroed
+}
+
+// DetectAndRecover is the full run-time reaction: scan, zero out flagged
+// groups, and report what happened.
+func (p *Protector) DetectAndRecover() (flagged []GroupID, zeroed int) {
+	flagged = p.Scan()
+	zeroed = p.Recover(flagged)
+	return flagged, zeroed
+}
+
+// GroupOf maps a bit address to its checksum group under this protector.
+func (p *Protector) GroupOf(a quant.BitAddress) GroupID {
+	l := p.Model.Layers[a.LayerIndex]
+	return GroupID{
+		Layer: a.LayerIndex,
+		Group: p.Schemes[a.LayerIndex].GroupOf(a.WeightIndex, len(l.Q)),
+	}
+}
+
+// CountDetected returns how many of the given flipped bits lie in flagged
+// groups — the paper's "number of detected bit-flips out of N" metric.
+func (p *Protector) CountDetected(addrs []quant.BitAddress, flagged []GroupID) int {
+	set := make(map[GroupID]bool, len(flagged))
+	for _, g := range flagged {
+		set[g] = true
+	}
+	n := 0
+	for _, a := range addrs {
+		if set[p.GroupOf(a)] {
+			n++
+		}
+	}
+	return n
+}
+
+// NumGroups returns the total number of checksum groups in the model.
+func (p *Protector) NumGroups() int {
+	n := 0
+	for li, l := range p.Model.Layers {
+		n += p.Schemes[li].NumGroups(len(l.Q))
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+package core
+
+// RefreshLayer recomputes the golden signatures of one layer from its
+// current weights. Deployments call this after a *legitimate* weight
+// update (fine-tuning, OTA model patch) so the new values are what the
+// run-time scan defends; calling it with corrupted weights would launder
+// the corruption, so the caller must hold the same trust as the original
+// Protect invocation.
+func (p *Protector) RefreshLayer(li int) {
+	p.Golden[li] = p.Schemes[li].Signatures(p.Model.Layers[li].Q)
+}
+
+// RefreshAll recomputes every layer's golden signatures (a full re-protect
+// without re-drawing the secrets).
+func (p *Protector) RefreshAll() {
+	for li := range p.Model.Layers {
+		p.RefreshLayer(li)
+	}
+}
+
+// Rekey draws fresh per-layer keys and offsets from the scheme seeds in
+// cfg and recomputes all golden signatures. Rotating the secrets bounds
+// how long a side-channel leak of one key is useful to an attacker.
+func (p *Protector) Rekey(cfg Config) {
+	fresh := Protect(p.Model, cfg)
+	p.Schemes = fresh.Schemes
+	p.Golden = fresh.Golden
+}

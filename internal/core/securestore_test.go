@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"radar/internal/model"
+	"radar/internal/quant"
+)
+
+func TestPackUnpackBitsRoundTrip(t *testing.T) {
+	f := func(seed int64, widthSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + int(widthSel%8)
+		n := rng.Intn(200)
+		vals := make([]uint8, n)
+		for i := range vals {
+			vals[i] = uint8(rng.Intn(1 << uint(width)))
+		}
+		packed := packBits(vals, width)
+		wantLen := (n*width + 7) / 8
+		if len(packed) != wantLen {
+			return false
+		}
+		back := unpackBits(packed, n, width)
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	b := loadTiny(t)
+	p := Protect(b.QModel, DefaultConfig(16))
+	store := p.Seal()
+
+	p2, err := UnsealProtector(b.QModel, store)
+	if err != nil {
+		t.Fatalf("UnsealProtector: %v", err)
+	}
+	if len(p2.Schemes) != len(p.Schemes) {
+		t.Fatal("scheme count mismatch")
+	}
+	for i := range p.Schemes {
+		if p.Schemes[i] != p2.Schemes[i] {
+			t.Fatalf("scheme %d differs: %+v vs %+v", i, p.Schemes[i], p2.Schemes[i])
+		}
+		for j := range p.Golden[i] {
+			if p.Golden[i][j] != p2.Golden[i][j] {
+				t.Fatalf("golden signature L%d[%d] differs", i, j)
+			}
+		}
+	}
+	// The unsealed protector must detect attacks identically.
+	addr := quant.BitAddress{LayerIndex: 2, WeightIndex: 9, Bit: quant.MSB}
+	b.QModel.FlipBit(addr)
+	f1 := p.Scan()
+	f2 := p2.Scan()
+	if len(f1) != len(f2) || len(f1) == 0 || f1[0] != f2[0] {
+		t.Fatalf("unsealed scan differs: %v vs %v", f1, f2)
+	}
+}
+
+func TestSealedSizeMatchesStorageAccounting(t *testing.T) {
+	b := loadTiny(t)
+	p := Protect(b.QModel, DefaultConfig(32))
+	store := p.Seal()
+	st := p.Storage()
+	// Blob = 6 header bytes + 13 bytes/layer metadata + packed signatures.
+	// The packed signature payload must match SignatureBits to within the
+	// per-layer byte-rounding slack.
+	layers := len(p.Schemes)
+	meta := 6 + 13*layers
+	payload := store.Size() - meta
+	minBytes := st.SignatureBits / 8
+	maxBytes := st.SignatureBits/8 + layers // ≤1 byte rounding per layer
+	if payload < minBytes || payload > maxBytes {
+		t.Fatalf("packed payload %d bytes, accounting says %d bits (%d–%d bytes)",
+			payload, st.SignatureBits, minBytes, maxBytes)
+	}
+}
+
+func TestUnsealRejectsWrongModel(t *testing.T) {
+	b := loadTiny(t)
+	p := Protect(b.QModel, DefaultConfig(16))
+	store := p.Seal()
+
+	other := model.Load(model.TinySpec())
+	pOther := Protect(other.QModel, DefaultConfig(64))
+	_ = pOther
+	// Tamper: claim a different group geometry by truncating the blob.
+	bad := SecureStore{Blob: store.Blob[:len(store.Blob)-3]}
+	if _, err := UnsealProtector(b.QModel, bad); err == nil {
+		t.Fatal("expected error for truncated blob")
+	}
+	// Bad magic.
+	corrupt := append([]byte(nil), store.Blob...)
+	corrupt[0] = 'X'
+	if _, err := UnsealProtector(b.QModel, SecureStore{Blob: corrupt}); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestUnsealRejectsTrailingGarbage(t *testing.T) {
+	b := loadTiny(t)
+	store := Protect(b.QModel, DefaultConfig(16)).Seal()
+	garbage := SecureStore{Blob: append(append([]byte(nil), store.Blob...), 0xFF)}
+	if _, err := UnsealProtector(b.QModel, garbage); err == nil {
+		t.Fatal("expected error for trailing bytes")
+	}
+}
+
+func TestSeal3BitSignatures(t *testing.T) {
+	b := loadTiny(t)
+	cfg := DefaultConfig(16)
+	cfg.SigBits = 3
+	p := Protect(b.QModel, cfg)
+	p2, err := UnsealProtector(b.QModel, p.Seal())
+	if err != nil {
+		t.Fatalf("UnsealProtector(3-bit): %v", err)
+	}
+	for i := range p.Golden {
+		for j := range p.Golden[i] {
+			if p.Golden[i][j] != p2.Golden[i][j] {
+				t.Fatal("3-bit golden signatures corrupted by seal round trip")
+			}
+		}
+	}
+}
+
+func TestRefreshLayerAcceptsLegitimateUpdate(t *testing.T) {
+	b := loadTiny(t)
+	p := Protect(b.QModel, DefaultConfig(16))
+	// A legitimate update: rewrite a whole layer (e.g. fine-tuned weights).
+	l := b.QModel.Layers[2]
+	for i := range l.Q {
+		l.Q[i] = int8((i*13)%250 - 125)
+	}
+	l.Sync()
+	if len(p.ScanLayer(2)) == 0 {
+		t.Fatal("update should initially mismatch the golden signatures")
+	}
+	p.RefreshLayer(2)
+	if flagged := p.Scan(); len(flagged) != 0 {
+		t.Fatalf("scan after refresh flagged %v", flagged)
+	}
+	// Detection still works after refresh.
+	b.QModel.FlipBit(quant.BitAddress{LayerIndex: 2, WeightIndex: 1, Bit: quant.MSB})
+	if len(p.ScanLayer(2)) != 1 {
+		t.Fatal("refreshed layer no longer detects flips")
+	}
+}
+
+func TestRekeyChangesSecretsKeepsDetection(t *testing.T) {
+	b := loadTiny(t)
+	cfg := DefaultConfig(16)
+	p := Protect(b.QModel, cfg)
+	oldKeys := make([]uint16, len(p.Schemes))
+	for i, s := range p.Schemes {
+		oldKeys[i] = s.Key
+	}
+	cfg.Seed = 0x5EED
+	p.Rekey(cfg)
+	same := 0
+	for i, s := range p.Schemes {
+		if s.Key == oldKeys[i] {
+			same++
+		}
+	}
+	if same == len(p.Schemes) {
+		t.Fatal("rekey did not rotate any keys")
+	}
+	if flagged := p.Scan(); len(flagged) != 0 {
+		t.Fatalf("clean model flagged after rekey: %v", flagged)
+	}
+	b.QModel.FlipBit(quant.BitAddress{LayerIndex: 0, WeightIndex: 0, Bit: quant.MSB})
+	if len(p.Scan()) != 1 {
+		t.Fatal("detection broken after rekey")
+	}
+}

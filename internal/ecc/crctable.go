@@ -1,0 +1,101 @@
+package ecc
+
+// TableCRC is a byte-at-a-time (256-entry table) implementation of the
+// same codes as the bit-serial CRC — the standard software optimization.
+// It exists for two reasons: it cross-validates the bit-serial reference
+// (they must agree on every input), and it quantifies how much of Table
+// V's CRC time cost is implementation- rather than algorithm-inherent
+// (roughly 8×; the storage disadvantage is untouched either way).
+type TableCRC struct {
+	// CRC is the underlying code definition.
+	CRC CRC
+	tab [256]uint32
+}
+
+// NewTableCRC precomputes the lookup table for a code.
+func NewTableCRC(c CRC) *TableCRC {
+	t := &TableCRC{CRC: c}
+	w := uint(c.Width)
+	top := uint32(1) << (w - 1)
+	mask := (uint32(1) << w) - 1
+	for b := 0; b < 256; b++ {
+		// Process one input byte through the shift register. Align the
+		// byte with the register top (for widths < 8 the register cycles
+		// faster than the byte, handled by shifting bit by bit).
+		reg := uint32(0)
+		for bit := 7; bit >= 0; bit-- {
+			fb := (reg>>(w-1))&1 ^ uint32(b>>uint(bit))&1
+			reg = (reg << 1) & mask
+			if fb == 1 {
+				reg ^= c.Poly
+			}
+		}
+		t.tab[b] = reg & mask
+		_ = top
+	}
+	return t
+}
+
+// Compute returns the CRC of data, matching CRC.Compute exactly.
+func (t *TableCRC) Compute(data []byte) uint32 {
+	w := uint(t.CRC.Width)
+	mask := (uint32(1) << w) - 1
+	var reg uint32
+	if t.CRC.Width >= 8 {
+		for _, b := range data {
+			idx := uint8(reg>>(w-8)) ^ b
+			reg = ((reg << 8) & mask) ^ t.tab[idx]
+		}
+		return reg & mask
+	}
+	// For widths < 8, the table still maps "register state advanced by one
+	// byte", but the whole register fits in the top byte: fold the current
+	// register into the incoming byte.
+	for _, b := range data {
+		idx := uint8(reg<<(8-w)) ^ b
+		reg = t.tab[idx]
+	}
+	return reg & mask
+}
+
+// ComputeInt8 adapts Compute to weight groups.
+func (t *TableCRC) ComputeInt8(q []int8) uint32 {
+	buf := make([]byte, len(q))
+	for i, v := range q {
+		buf[i] = byte(v)
+	}
+	return t.Compute(buf)
+}
+
+// CorrectSingle attempts single-bit error correction with a SEC-DED
+// Hamming code: given the stored and freshly computed check words, it
+// returns the codeword position (1-based, parity positions included) of
+// the flipped bit, or 0 when the difference is not a correctable single
+// error. Callers translate the position back to a data-bit index with
+// DataIndexOf.
+func (h Hamming) CorrectSingle(stored, fresh uint32) int {
+	if h.Classify(stored, fresh) != 1 {
+		return 0
+	}
+	synDiff := int((stored >> 1) ^ (fresh >> 1))
+	return synDiff // syndrome difference IS the codeword position
+}
+
+// DataIndexOf converts a codeword position to a data-bit index, or -1 for
+// parity positions.
+func (h Hamming) DataIndexOf(codewordPos int) int {
+	if codewordPos <= 0 {
+		return -1
+	}
+	if codewordPos&(codewordPos-1) == 0 {
+		return -1 // power of two → parity bit
+	}
+	// Count non-power-of-two positions below codewordPos.
+	idx := 0
+	for p := 1; p < codewordPos; p++ {
+		if p&(p-1) != 0 {
+			idx++
+		}
+	}
+	return idx
+}

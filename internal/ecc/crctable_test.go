@@ -1,0 +1,124 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableCRCMatchesBitSerial(t *testing.T) {
+	tables := []*TableCRC{NewTableCRC(CRC7), NewTableCRC(CRC10), NewTableCRC(CRC13)}
+	f := func(data []byte) bool {
+		for _, tab := range tables {
+			if tab.Compute(data) != tab.CRC.Compute(data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableCRCInt8MatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := NewTableCRC(CRC13)
+	for trial := 0; trial < 50; trial++ {
+		q := make([]int8, 512)
+		for i := range q {
+			q[i] = int8(rng.Intn(256) - 128)
+		}
+		if tab.ComputeInt8(q) != CRC13.ComputeInt8(q) {
+			t.Fatal("table-driven CRC disagrees with bit-serial reference")
+		}
+	}
+}
+
+func TestTableCRCEmptyInput(t *testing.T) {
+	tab := NewTableCRC(CRC7)
+	if tab.Compute(nil) != CRC7.Compute(nil) {
+		t.Fatal("empty-input mismatch")
+	}
+}
+
+func TestHammingCorrectSingleLocatesBit(t *testing.T) {
+	h := NewHamming(64)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]uint8, 64)
+	for i := range data {
+		data[i] = uint8(rng.Intn(2))
+	}
+	stored := h.Encode(data)
+	for i := 0; i < 64; i++ {
+		c := append([]uint8(nil), data...)
+		c[i] ^= 1
+		pos := h.CorrectSingle(stored, h.Encode(c))
+		if pos == 0 {
+			t.Fatalf("single error at data bit %d not correctable", i)
+		}
+		if got := h.DataIndexOf(pos); got != i {
+			t.Fatalf("correction points at data bit %d, want %d", got, i)
+		}
+	}
+}
+
+func TestHammingCorrectSingleRefusesDouble(t *testing.T) {
+	h := NewHamming(64)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]uint8, 64)
+	stored := h.Encode(data)
+	for trial := 0; trial < 200; trial++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		if i == j {
+			continue
+		}
+		c := append([]uint8(nil), data...)
+		c[i] ^= 1
+		c[j] ^= 1
+		if pos := h.CorrectSingle(stored, h.Encode(c)); pos != 0 {
+			t.Fatalf("double error at %d,%d mis-corrected to position %d", i, j, pos)
+		}
+	}
+}
+
+func TestDataIndexOfParityPositions(t *testing.T) {
+	h := NewHamming(64)
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if h.DataIndexOf(p) != -1 {
+			t.Fatalf("position %d is a parity bit, not data", p)
+		}
+	}
+	// Position 3 is the first data bit, position 5 the second, 6 the third.
+	if h.DataIndexOf(3) != 0 || h.DataIndexOf(5) != 1 || h.DataIndexOf(6) != 2 {
+		t.Fatal("data index mapping wrong")
+	}
+	if h.DataIndexOf(0) != -1 || h.DataIndexOf(-4) != -1 {
+		t.Fatal("non-positive positions must map to -1")
+	}
+}
+
+func BenchmarkTableCRC13(b *testing.B) {
+	tab := NewTableCRC(CRC13)
+	q := make([]int8, 4096)
+	for i := range q {
+		q[i] = int8(i)
+	}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.ComputeInt8(q)
+	}
+}
+
+func BenchmarkBitSerialCRC13(b *testing.B) {
+	q := make([]int8, 4096)
+	for i := range q {
+		q[i] = int8(i)
+	}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CRC13.ComputeInt8(q)
+	}
+}

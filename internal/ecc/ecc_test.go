@@ -1,0 +1,228 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRCPeriods(t *testing.T) {
+	// All three polynomials must be primitive: period = 2^w − 1. This is
+	// what guarantees HD ≥ 3 (all 1- and 2-bit errors detected) out to the
+	// paper's block lengths.
+	cases := []struct {
+		c    CRC
+		want int
+	}{
+		{CRC7, 127},
+		{CRC10, 1023},
+		{CRC13, 8191},
+	}
+	for _, c := range cases {
+		if got := c.c.Period(); got != c.want {
+			t.Errorf("%s period = %d, want %d", c.c.Name(), got, c.want)
+		}
+	}
+}
+
+func TestCRC7DetectsAllSingleAndDoubleBitErrors64(t *testing.T) {
+	// Exhaustive over a 64-bit (8-weight) block: every 1-bit and 2-bit
+	// corruption must change the CRC-7.
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]int8, 8)
+	for i := range orig {
+		orig[i] = int8(rng.Intn(256) - 128)
+	}
+	base := CRC7.ComputeInt8(orig)
+	nbits := len(orig) * 8
+	flip := func(q []int8, bit int) {
+		q[bit/8] = int8(uint8(q[bit/8]) ^ (1 << uint(7-bit%8)))
+	}
+	for i := 0; i < nbits; i++ {
+		c := append([]int8(nil), orig...)
+		flip(c, i)
+		if CRC7.ComputeInt8(c) == base {
+			t.Fatalf("CRC-7 missed single-bit error at %d", i)
+		}
+		for j := i + 1; j < nbits; j++ {
+			c2 := append([]int8(nil), c...)
+			flip(c2, j)
+			if CRC7.ComputeInt8(c2) == base {
+				t.Fatalf("CRC-7 missed double-bit error at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCRC13DetectsSampledDoubleErrors4096(t *testing.T) {
+	// Sampled double-bit errors over a 512-weight (4096-bit) block.
+	rng := rand.New(rand.NewSource(2))
+	orig := make([]int8, 512)
+	for i := range orig {
+		orig[i] = int8(rng.Intn(256) - 128)
+	}
+	base := CRC13.ComputeInt8(orig)
+	nbits := len(orig) * 8
+	flip := func(q []int8, bit int) {
+		q[bit/8] = int8(uint8(q[bit/8]) ^ (1 << uint(7-bit%8)))
+	}
+	for trial := 0; trial < 3000; trial++ {
+		i, j := rng.Intn(nbits), rng.Intn(nbits)
+		if i == j {
+			continue
+		}
+		c := append([]int8(nil), orig...)
+		flip(c, i)
+		flip(c, j)
+		if CRC13.ComputeInt8(c) == base {
+			t.Fatalf("CRC-13 missed double-bit error at %d,%d", i, j)
+		}
+	}
+}
+
+func TestCRCDeterministicAndDataDependent(t *testing.T) {
+	a := []int8{1, 2, 3, 4}
+	b := []int8{1, 2, 3, 5}
+	if CRC7.ComputeInt8(a) != CRC7.ComputeInt8(a) {
+		t.Fatal("CRC not deterministic")
+	}
+	if CRC7.ComputeInt8(a) == CRC7.ComputeInt8(b) {
+		t.Fatal("CRC collision on trivially different data")
+	}
+}
+
+func TestCRCWidthMask(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		for _, c := range []CRC{CRC7, CRC10, CRC13} {
+			if c.Compute(data)>>uint(c.Width) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCComputeMSBs(t *testing.T) {
+	// Only MSB changes must affect the MSB-stream CRC.
+	q := make([]int8, 512)
+	base := CRC10.ComputeMSBs(q)
+	q[100] = 63 // MSB still 0
+	if CRC10.ComputeMSBs(q) != base {
+		t.Fatal("non-MSB change altered MSB-stream CRC")
+	}
+	q[100] = -1 // MSB 1
+	if CRC10.ComputeMSBs(q) == base {
+		t.Fatal("MSB change not reflected in MSB-stream CRC")
+	}
+}
+
+func TestCRCDetectsHelper(t *testing.T) {
+	orig := []int8{5, -3, 100, 0, 1, 2, 3, 4}
+	corr := append([]int8(nil), orig...)
+	corr[2] = int8(uint8(corr[2]) ^ 0x80)
+	if !CRC7.Detects(orig, corr) {
+		t.Fatal("Detects returned false for real corruption")
+	}
+	if CRC7.Detects(orig, orig) {
+		t.Fatal("Detects returned true for identical data")
+	}
+}
+
+func TestHammingSizing(t *testing.T) {
+	// Paper §VII.B: 64 bits need 7 (+1 SEC-DED) check bits; 4096 need 13 (+1).
+	if h := NewHamming(64); h.ParityBits != 7 || h.CheckBits() != 8 {
+		t.Fatalf("Hamming(64): r=%d", h.ParityBits)
+	}
+	if h := NewHamming(4096); h.ParityBits != 13 || h.CheckBits() != 14 {
+		t.Fatalf("Hamming(4096): r=%d", h.ParityBits)
+	}
+}
+
+func TestHammingClassifySingleVsDouble(t *testing.T) {
+	h := NewHamming(64)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]uint8, 64)
+	for i := range data {
+		data[i] = uint8(rng.Intn(2))
+	}
+	stored := h.Encode(data)
+
+	// Single-bit error → class 1 for every position.
+	for i := 0; i < 64; i++ {
+		c := append([]uint8(nil), data...)
+		c[i] ^= 1
+		if got := h.Classify(stored, h.Encode(c)); got != 1 {
+			t.Fatalf("single error at %d classified %d", i, got)
+		}
+	}
+	// Double-bit errors → class 2 (sampled).
+	for trial := 0; trial < 500; trial++ {
+		i, j := rng.Intn(64), rng.Intn(64)
+		if i == j {
+			continue
+		}
+		c := append([]uint8(nil), data...)
+		c[i] ^= 1
+		c[j] ^= 1
+		if got := h.Classify(stored, h.Encode(c)); got != 2 {
+			t.Fatalf("double error at %d,%d classified %d", i, j, got)
+		}
+	}
+	// No error → class 0.
+	if h.Classify(stored, h.Encode(data)) != 0 {
+		t.Fatal("clean data classified as error")
+	}
+}
+
+func TestHammingDetectsInt8MSBs(t *testing.T) {
+	h := NewHamming(16)
+	orig := make([]int8, 16)
+	corr := append([]int8(nil), orig...)
+	corr[3] = int8(uint8(corr[3]) ^ 0x80)
+	if !h.DetectsInt8MSBs(orig, corr) {
+		t.Fatal("MSB flip not detected")
+	}
+	if h.DetectsInt8MSBs(orig, orig) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestHammingPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHamming(8).Syndrome(make([]uint8, 9))
+}
+
+func TestParityDetectsOddMSBFlips(t *testing.T) {
+	p := Parity{}
+	orig := []int8{1, -2, 3, -4}
+	c1 := append([]int8(nil), orig...)
+	c1[0] = int8(uint8(c1[0]) ^ 0x80)
+	if !p.Detects(orig, c1) {
+		t.Fatal("parity missed single MSB flip")
+	}
+	// Two MSB flips cancel — the weakness that motivates RADAR's S_A.
+	c2 := append([]int8(nil), c1...)
+	c2[1] = int8(uint8(c2[1]) ^ 0x80)
+	if p.Detects(orig, c2) {
+		t.Fatal("parity should be blind to double MSB flips")
+	}
+}
+
+func TestParityIgnoresNonMSBBits(t *testing.T) {
+	p := Parity{}
+	orig := []int8{0, 0, 0}
+	c := []int8{63, 12, 7} // MSBs all still 0
+	if p.Detects(orig, c) {
+		t.Fatal("parity must only cover MSBs")
+	}
+}

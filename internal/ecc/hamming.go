@@ -1,0 +1,114 @@
+package ecc
+
+import "math/bits"
+
+// Hamming implements a SEC-DED (single-error-correct, double-error-detect)
+// extended Hamming code over arbitrary-length bit blocks: r parity bits
+// where 2^r ≥ data+r+1, plus one overall parity bit. For the paper's
+// comparison: 64 data bits need 7+1 bits, 4096 data bits need 13+1.
+type Hamming struct {
+	// DataBits is the protected block length in bits.
+	DataBits int
+	// ParityBits is r, excluding the overall parity bit.
+	ParityBits int
+}
+
+// NewHamming sizes a SEC-DED code for the given data length.
+func NewHamming(dataBits int) Hamming {
+	r := 0
+	for (1 << uint(r)) < dataBits+r+1 {
+		r++
+	}
+	return Hamming{DataBits: dataBits, ParityBits: r}
+}
+
+// CheckBits returns the total stored check bits (r + overall parity).
+func (h Hamming) CheckBits() int { return h.ParityBits + 1 }
+
+// Syndrome computes the Hamming syndrome and overall parity of a bit
+// block laid out in the standard scheme (data bits occupy non-power-of-two
+// codeword positions).
+func (h Hamming) Syndrome(data []uint8) (syndrome uint32, parity uint8) {
+	if len(data) != h.DataBits {
+		panic("ecc: data length mismatch")
+	}
+	pos := 1
+	di := 0
+	for di < len(data) {
+		if pos&(pos-1) == 0 { // parity position
+			pos++
+			continue
+		}
+		if data[di]&1 == 1 {
+			syndrome ^= uint32(pos)
+			parity ^= 1
+		}
+		pos++
+		di++
+	}
+	return syndrome, parity
+}
+
+// Encode returns the check word for a data block: syndrome bits plus the
+// overall parity of data and syndrome.
+func (h Hamming) Encode(data []uint8) uint32 {
+	syn, par := h.Syndrome(data)
+	// Overall parity covers data and parity bits; fold syndrome parity in.
+	par ^= uint8(bits.OnesCount32(syn) & 1)
+	return syn<<1 | uint32(par)
+}
+
+// Classify compares stored and recomputed check words and reports the
+// error class for the corruption between them: 0 = no error, 1 = single
+// (correctable), 2 = double (detectable, uncorrectable).
+//
+// In the standard SEC-DED decision: overall-parity mismatch → odd number
+// of errors (single if syndrome nonzero or parity-bit error); parity match
+// with nonzero syndrome difference → double error.
+func (h Hamming) Classify(stored, fresh uint32) int {
+	if stored == fresh {
+		return 0
+	}
+	synDiff := (stored >> 1) ^ (fresh >> 1)
+	parDiff := (stored ^ fresh) & 1
+	// Recover the pure data parity difference: Encode folded syndrome
+	// parity into the stored parity bit, so undo it.
+	parDiff ^= uint32(bits.OnesCount32(synDiff) & 1)
+	if parDiff == 1 {
+		return 1
+	}
+	if synDiff != 0 {
+		return 2
+	}
+	return 1 // parity-bit-only change
+}
+
+// DetectsInt8MSBs applies the code to the MSB stream of a weight group and
+// reports whether corruption is detected (class > 0).
+func (h Hamming) DetectsInt8MSBs(original, corrupted []int8) bool {
+	toBits := func(q []int8) []uint8 {
+		b := make([]uint8, len(q))
+		for i, v := range q {
+			b[i] = uint8(v) >> 7
+		}
+		return b
+	}
+	return h.Classify(h.Encode(toBits(original)), h.Encode(toBits(corrupted))) > 0
+}
+
+// Parity is the 1-bit even-parity baseline over a bit block.
+type Parity struct{}
+
+// Compute returns the even parity of the MSBs of a weight group.
+func (Parity) Compute(q []int8) uint8 {
+	var p uint8
+	for _, v := range q {
+		p ^= uint8(v) >> 7
+	}
+	return p & 1
+}
+
+// Detects reports whether MSB parity differs between the two blocks.
+func (p Parity) Detects(original, corrupted []int8) bool {
+	return p.Compute(original) != p.Compute(corrupted)
+}

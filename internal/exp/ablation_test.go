@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMaskingAblationShowsMaskingValue(t *testing.T) {
+	opt := Quick()
+	opt.MissRounds = 20_000
+	r := MaskingAblation(opt)
+	// Without masking an opposite-direction pair cancels deterministically.
+	if r.DetectedUnmasked != 0 {
+		t.Fatalf("unmasked checksum detected %d of %d cancelling pairs (expected 0)",
+			r.DetectedUnmasked, r.Rounds)
+	}
+	// With a random key the pair survives when the two key bits differ
+	// (≈50% of pairs). Allow wide slack around 0.5.
+	rate := float64(r.DetectedMasked) / float64(r.Rounds)
+	if rate < 0.3 || rate > 0.7 {
+		t.Fatalf("masked detection rate %.3f outside [0.3, 0.7]", rate)
+	}
+	if !strings.Contains(r.Render(), "Masking ablation") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestBatchAmortizationMonotone(t *testing.T) {
+	r := BatchAmortization()
+	for name, rows := range r.Rows {
+		if len(rows) < 2 {
+			t.Fatalf("%s: too few batch points", name)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].OverheadPct >= rows[i-1].OverheadPct {
+				t.Errorf("%s: overhead not decreasing with batch: B=%d %.3f%% vs B=%d %.3f%%",
+					name, rows[i].Batch, rows[i].OverheadPct, rows[i-1].Batch, rows[i-1].OverheadPct)
+			}
+		}
+		// Detection time itself is batch-independent.
+		if rows[0].DetectionSec != rows[len(rows)-1].DetectionSec {
+			t.Errorf("%s: detection time should not scale with batch", name)
+		}
+	}
+	if !strings.Contains(r.Render(), "Batch amortization") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestSigBitsAblationTradeoff(t *testing.T) {
+	opt := Quick()
+	opt.MissRounds = 20_000
+	r := SigBitsAblation(opt)
+	// 3-bit signatures cost exactly 1.5× the 2-bit storage.
+	ratio := r.Storage3KB / r.Storage2KB
+	if ratio < 1.49 || ratio > 1.51 {
+		t.Fatalf("storage ratio %.3f, want 1.5", ratio)
+	}
+	// 3-bit must catch every MSB-1 single flip; 2-bit roughly half.
+	if r.Detect3 < 0.999 {
+		t.Fatalf("3-bit MSB-1 detection %.4f, want ~1.0", r.Detect3)
+	}
+	if r.Detect2 < 0.3 || r.Detect2 > 0.7 {
+		t.Fatalf("2-bit MSB-1 detection %.3f outside [0.3, 0.7]", r.Detect2)
+	}
+	if !strings.Contains(r.Render(), "Signature-width") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestRuntimeDetectionBeatsPeriodic(t *testing.T) {
+	r := RuntimeDetection(sharedCtx)
+	if r.PeriodicAccuracy >= r.Clean-0.05 {
+		t.Fatalf("attack after periodic scan should hurt accuracy: clean %.2f periodic %.2f",
+			r.Clean, r.PeriodicAccuracy)
+	}
+	if r.EmbeddedAccuracy <= r.PeriodicAccuracy {
+		t.Fatalf("embedded detection (%.2f) must beat periodic (%.2f)",
+			r.EmbeddedAccuracy, r.PeriodicAccuracy)
+	}
+	if r.EmbeddedDetected < r.Flips-2 {
+		t.Fatalf("embedded scan caught only %d of %d flips", r.EmbeddedDetected, r.Flips)
+	}
+	if !strings.Contains(r.Render(), "Run-time vs periodic") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestEngineParity(t *testing.T) {
+	r := EngineParity(sharedCtx)
+	if r.Agreement < 0.85 {
+		t.Fatalf("int8/float agreement %.3f too low", r.Agreement)
+	}
+	if diff := r.FloatAcc - r.Int8Acc; diff > 0.08 || diff < -0.08 {
+		t.Fatalf("int8 accuracy %.3f far from float %.3f", r.Int8Acc, r.FloatAcc)
+	}
+	if r.Int8Attacked >= r.Int8Acc-0.1 {
+		t.Fatalf("attack barely moved the int8 engine: %.3f vs %.3f", r.Int8Attacked, r.Int8Acc)
+	}
+	if r.Int8Recovered < r.Int8Attacked {
+		t.Fatalf("recovery hurt the int8 engine: %.3f < %.3f", r.Int8Recovered, r.Int8Attacked)
+	}
+	if !strings.Contains(r.Render(), "int8 engine") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestSoftwareOverheadSmall(t *testing.T) {
+	r := SoftwareOverhead()
+	if r.InferenceSec <= 0 || r.ScanSec <= 0 {
+		t.Fatal("non-positive timings")
+	}
+	// A 394k-weight scan must be far cheaper than a conv inference; the
+	// paper's claim is <2% on gem5, software slack allows <25% here.
+	if r.OverheadPct > 25 {
+		t.Fatalf("software scan overhead %.1f%% implausibly high", r.OverheadPct)
+	}
+	if !strings.Contains(r.Render(), "Software scan overhead") {
+		t.Fatal("render malformed")
+	}
+}

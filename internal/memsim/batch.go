@@ -1,0 +1,40 @@
+package memsim
+
+import "radar/internal/model"
+
+// BatchResult prices inference at a given batch size: detection runs once
+// per weight-chunk load while compute scales with the batch, so the
+// relative overhead shrinks — the paper's closing observation in §VII.A
+// ("the time overhead can be further reduced in a multi-batch inference
+// setting, where each chunk of weights is loaded once and used many
+// times").
+type BatchResult struct {
+	// Batch is the batch size.
+	Batch int
+	// BaselineSec is batch-inference time without detection.
+	BaselineSec float64
+	// DetectionSec is the (batch-independent) detection time.
+	DetectionSec float64
+	// OverheadPct is detection relative to baseline.
+	OverheadPct float64
+}
+
+// SimulateBatch prices RADAR at several batch sizes.
+func (c CostModel) SimulateBatch(tab *model.ShapeTable, cfg RADARConfig, batches []int) []BatchResult {
+	single := c.SimulateRADAR(tab, cfg)
+	out := make([]BatchResult, 0, len(batches))
+	for _, n := range batches {
+		if n < 1 {
+			n = 1
+		}
+		base := single.BaselineSec * float64(n)
+		res := BatchResult{
+			Batch:        n,
+			BaselineSec:  base,
+			DetectionSec: single.DetectionSec, // weights fetched & checked once
+		}
+		res.OverheadPct = 100 * res.DetectionSec / base
+		out = append(out, res)
+	}
+	return out
+}

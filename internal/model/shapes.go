@@ -1,0 +1,120 @@
+// Package model provides the model zoo for the RADAR reproduction: the
+// scaled trainable ResNet-20/ResNet-18 models used for accuracy
+// experiments, gob-based checkpoint caching so expensive training runs
+// once, and the exact layer shape tables of the full-size paper models used
+// for storage and timing experiments where no trained weights are needed.
+package model
+
+import "fmt"
+
+// LayerShape describes one weight tensor of a full-size model together
+// with the geometry needed to count inference work.
+type LayerShape struct {
+	// Name identifies the layer.
+	Name string
+	// Weights is the number of scalar weights (each 1 byte at int8).
+	Weights int
+	// MACs is the number of multiply-accumulates one inference of the layer
+	// performs at the model's native input resolution.
+	MACs int64
+}
+
+// ShapeTable is the layer inventory of a full-size model.
+type ShapeTable struct {
+	// Model names the architecture ("resnet20-cifar" / "resnet18-imagenet").
+	Model string
+	// Layers lists every weight-carrying layer in execution order.
+	Layers []LayerShape
+}
+
+// TotalWeights sums the weight counts of all layers.
+func (t *ShapeTable) TotalWeights() int {
+	n := 0
+	for _, l := range t.Layers {
+		n += l.Weights
+	}
+	return n
+}
+
+// TotalMACs sums the MAC counts of all layers.
+func (t *ShapeTable) TotalMACs() int64 {
+	var n int64
+	for _, l := range t.Layers {
+		n += l.MACs
+	}
+	return n
+}
+
+// convShape computes the weight and MAC counts of a conv layer with square
+// kernel k, given input channels, output channels and output spatial size.
+func convShape(name string, inC, outC, k, outH, outW int) LayerShape {
+	w := outC * inC * k * k
+	return LayerShape{Name: name, Weights: w, MACs: int64(w) * int64(outH*outW)}
+}
+
+// bnShape counts the affine (γ, β) parameters of a batch-norm layer. They
+// are part of the stored model image the paper's signatures cover, but they
+// contribute negligible inference MACs (folded at deployment).
+func bnShape(name string, c int) LayerShape {
+	return LayerShape{Name: name, Weights: 2 * c}
+}
+
+// ResNet20CIFARShapes returns the exact layer table of the paper's 8-bit
+// ResNet-20 on CIFAR-10 (32×32 input, widths 16/32/64, 10 classes):
+// 272,474 parameters in total (270,906 conv/fc + 1,568 BN affine).
+func ResNet20CIFARShapes() *ShapeTable {
+	t := &ShapeTable{Model: "resnet20-cifar"}
+	add := func(l LayerShape) { t.Layers = append(t.Layers, l) }
+	add(convShape("stem.conv", 3, 16, 3, 32, 32))
+	add(bnShape("stem.bn", 16))
+	stageCh := []int{16, 32, 64}
+	stageHW := []int{32, 16, 8}
+	inC := 16
+	for s := 0; s < 3; s++ {
+		outC, hw := stageCh[s], stageHW[s]
+		for b := 0; b < 3; b++ {
+			name := fmt.Sprintf("stage%d.block%d", s+1, b)
+			add(convShape(name+".conv1", inC, outC, 3, hw, hw))
+			add(bnShape(name+".bn1", outC))
+			add(convShape(name+".conv2", outC, outC, 3, hw, hw))
+			add(bnShape(name+".bn2", outC))
+			if s > 0 && b == 0 {
+				add(convShape(name+".down.conv", inC, outC, 1, hw, hw))
+				add(bnShape(name+".down.bn", outC))
+			}
+			inC = outC
+		}
+	}
+	add(LayerShape{Name: "fc", Weights: 64*10 + 10, MACs: 64 * 10})
+	return t
+}
+
+// ResNet18ImageNetShapes returns the exact layer table of the paper's 8-bit
+// ResNet-18 on ImageNet (224×224 input, widths 64/128/256/512, 1000
+// classes): 11,689,512 weights in total.
+func ResNet18ImageNetShapes() *ShapeTable {
+	t := &ShapeTable{Model: "resnet18-imagenet"}
+	add := func(l LayerShape) { t.Layers = append(t.Layers, l) }
+	add(convShape("stem.conv", 3, 64, 7, 112, 112))
+	add(bnShape("stem.bn", 64))
+	stageCh := []int{64, 128, 256, 512}
+	stageHW := []int{56, 28, 14, 7}
+	inC := 64
+	for s := 0; s < 4; s++ {
+		outC, hw := stageCh[s], stageHW[s]
+		for b := 0; b < 2; b++ {
+			name := fmt.Sprintf("stage%d.block%d", s+1, b)
+			add(convShape(name+".conv1", inC, outC, 3, hw, hw))
+			add(bnShape(name+".bn1", outC))
+			add(convShape(name+".conv2", outC, outC, 3, hw, hw))
+			add(bnShape(name+".bn2", outC))
+			if s > 0 && b == 0 {
+				add(convShape(name+".down.conv", inC, outC, 1, hw, hw))
+				add(bnShape(name+".down.bn", outC))
+			}
+			inC = outC
+		}
+	}
+	add(LayerShape{Name: "fc", Weights: 512*1000 + 1000, MACs: 512 * 1000})
+	return t
+}

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+
+	"radar/internal/tensor"
+)
+
+// BasicBlock is the ResNet v1 basic residual block:
+//
+//	out = ReLU( BN2(Conv2( ReLU(BN1(Conv1(x))) )) + shortcut(x) )
+//
+// where shortcut is identity when shapes match and a strided 1×1
+// convolution + BN otherwise (option B of He et al.).
+type BasicBlock struct {
+	name string
+
+	Conv1 *Conv2D
+	BN1   *BatchNorm2D
+	Relu1 *ReLU
+	Conv2 *Conv2D
+	BN2   *BatchNorm2D
+
+	// Downsample is nil for identity shortcuts.
+	DownConv *Conv2D
+	DownBN   *BatchNorm2D
+
+	Relu2 *ReLU
+}
+
+// NewBasicBlock constructs a residual block mapping inC→outC channels with
+// the given stride on the first convolution.
+func NewBasicBlock(name string, inC, outC, stride int, rng *rand.Rand) *BasicBlock {
+	b := &BasicBlock{
+		name:  name,
+		Conv1: NewConv2D(name+".conv1", inC, outC, 3, stride, 1, rng),
+		BN1:   NewBatchNorm2D(name+".bn1", outC),
+		Relu1: NewReLU(name + ".relu1"),
+		Conv2: NewConv2D(name+".conv2", outC, outC, 3, 1, 1, rng),
+		BN2:   NewBatchNorm2D(name+".bn2", outC),
+		Relu2: NewReLU(name + ".relu2"),
+	}
+	if stride != 1 || inC != outC {
+		b.DownConv = NewConv2D(name+".down.conv", inC, outC, 1, stride, 0, rng)
+		b.DownBN = NewBatchNorm2D(name+".down.bn", outC)
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := b.Conv1.Forward(x, train)
+	main = b.BN1.Forward(main, train)
+	main = b.Relu1.Forward(main, train)
+	main = b.Conv2.Forward(main, train)
+	main = b.BN2.Forward(main, train)
+
+	var side *tensor.Tensor
+	if b.DownConv != nil {
+		side = b.DownConv.Forward(x, train)
+		side = b.DownBN.Forward(side, train)
+	} else {
+		side = x
+	}
+	sum := tensor.Add(main, side)
+	return b.Relu2.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := b.Relu2.Backward(grad)
+	// The addition fans the gradient out to both branches unchanged.
+	gMain := b.BN2.Backward(g)
+	gMain = b.Conv2.Backward(gMain)
+	gMain = b.Relu1.Backward(gMain)
+	gMain = b.BN1.Backward(gMain)
+	gMain = b.Conv1.Backward(gMain)
+
+	if b.DownConv != nil {
+		gSide := b.DownBN.Backward(g)
+		gSide = b.DownConv.Backward(gSide)
+		return tensor.Add(gMain, gSide)
+	}
+	return tensor.Add(gMain, g)
+}
+
+// Params implements Layer.
+func (b *BasicBlock) Params() []*Param {
+	ps := append(b.Conv1.Params(), b.BN1.Params()...)
+	ps = append(ps, b.Conv2.Params()...)
+	ps = append(ps, b.BN2.Params()...)
+	if b.DownConv != nil {
+		ps = append(ps, b.DownConv.Params()...)
+		ps = append(ps, b.DownBN.Params()...)
+	}
+	return ps
+}
+
+// Name implements Layer.
+func (b *BasicBlock) Name() string { return b.name }

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+
+	"radar/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss of
+// logits (N, K) against integer labels, together with the gradient with
+// respect to the logits. The softmax is computed in a numerically stable
+// max-shifted form.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	grad = tensor.New(n, k)
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		exps := make([]float64, k)
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			exps[j] = e
+			sum += e
+		}
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic("nn: label out of range")
+		}
+		loss += -math.Log(exps[y]/sum + 1e-30)
+		for j := 0; j < k; j++ {
+			p := exps[j] / sum
+			if j == y {
+				p -= 1
+			}
+			grad.Data[i*k+j] = float32(p * invN)
+		}
+	}
+	return loss * invN, grad
+}
+
+// CrossEntropyLoss computes only the mean loss (no gradient) of logits
+// against labels; used on evaluation paths and by the attack's trial flips.
+func CrossEntropyLoss(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		y := labels[i]
+		loss += -(float64(row[y]-maxv) - math.Log(sum))
+	}
+	return loss / float64(n)
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.Argmax(i*k, k) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

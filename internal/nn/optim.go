@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+
+	"radar/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves gradients
+	// untouched (callers zero them explicitly between batches).
+	Step(params []*Param)
+	// SetLR changes the learning rate (for schedules).
+	SetLR(lr float64)
+}
+
+// SGD implements stochastic gradient descent with classical momentum and
+// decoupled L2 weight decay on parameters that opt in.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape...)
+			o.velocity[p] = v
+		}
+		for i := range p.Value.Data {
+			g := float64(p.Grad.Data[i])
+			if p.WeightDecay {
+				g += o.WeightDecay * float64(p.Value.Data[i])
+			}
+			nv := o.Momentum*float64(v.Data[i]) + g
+			v.Data[i] = float32(nv)
+			p.Value.Data[i] -= float32(o.LR * nv)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *SGD) SetLR(lr float64) { o.LR = lr }
+
+// Adam implements the Adam optimizer (Kingma & Ba) with optional L2 decay,
+// matching the paper's ResNet-20 training recipe (Adam, lr 0.01, decay 1e-4).
+type Adam struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float64
+	t                                  int
+	m, v                               map[*Param]*tensor.Tensor
+}
+
+// NewAdam constructs the optimizer with standard β₁=0.9, β₂=0.999.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*Param]*tensor.Tensor), v: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = tensor.New(p.Value.Shape...)
+			v = tensor.New(p.Value.Shape...)
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i := range p.Value.Data {
+			g := float64(p.Grad.Data[i])
+			if p.WeightDecay {
+				g += o.WeightDecay * float64(p.Value.Data[i])
+			}
+			nm := o.Beta1*float64(m.Data[i]) + (1-o.Beta1)*g
+			nv := o.Beta2*float64(v.Data[i]) + (1-o.Beta2)*g*g
+			m.Data[i] = float32(nm)
+			v.Data[i] = float32(nv)
+			mHat := nm / bc1
+			vHat := nv / bc2
+			p.Value.Data[i] -= float32(o.LR * mHat / (math.Sqrt(vHat) + o.Eps))
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *Adam) SetLR(lr float64) { o.LR = lr }

@@ -1,0 +1,84 @@
+package nn
+
+// Visit walks every layer in the container depth-first, recursing into
+// nested Sequentials and BasicBlocks, and calls fn on each leaf layer.
+func (s *Sequential) Visit(fn func(Layer)) {
+	for _, l := range s.Layers {
+		visitLayer(l, fn)
+	}
+}
+
+func visitLayer(l Layer, fn func(Layer)) {
+	switch v := l.(type) {
+	case *Sequential:
+		v.Visit(fn)
+	case *BasicBlock:
+		fn(v.Conv1)
+		fn(v.BN1)
+		fn(v.Conv2)
+		fn(v.BN2)
+		if v.DownConv != nil {
+			fn(v.DownConv)
+			fn(v.DownBN)
+		}
+	default:
+		fn(l)
+	}
+}
+
+// State captures every float tensor a model needs to be reconstructed:
+// trainable parameters plus batch-norm running statistics.
+type State struct {
+	// Params maps parameter name to its values.
+	Params map[string][]float32
+	// RunningMean and RunningVar map batch-norm layer name to statistics.
+	RunningMean map[string][]float64
+	// RunningVar — see RunningMean.
+	RunningVar map[string][]float64
+}
+
+// CaptureState snapshots the model into a serializable State.
+func (s *Sequential) CaptureState() *State {
+	st := &State{
+		Params:      map[string][]float32{},
+		RunningMean: map[string][]float64{},
+		RunningVar:  map[string][]float64{},
+	}
+	for _, p := range s.Params() {
+		st.Params[p.Name] = append([]float32(nil), p.Value.Data...)
+	}
+	s.Visit(func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			st.RunningMean[bn.Name()] = append([]float64(nil), bn.RunningMean...)
+			st.RunningVar[bn.Name()] = append([]float64(nil), bn.RunningVar...)
+		}
+	})
+	return st
+}
+
+// LoadState restores a snapshot previously captured from a model with the
+// same architecture. Unknown or missing names panic: a state/architecture
+// mismatch is a programming error, not a recoverable condition.
+func (s *Sequential) LoadState(st *State) {
+	for _, p := range s.Params() {
+		data, ok := st.Params[p.Name]
+		if !ok {
+			panic("nn: state missing parameter " + p.Name)
+		}
+		if len(data) != p.Value.Len() {
+			panic("nn: state size mismatch for " + p.Name)
+		}
+		copy(p.Value.Data, data)
+	}
+	s.Visit(func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			rm, ok1 := st.RunningMean[bn.Name()]
+			rv, ok2 := st.RunningVar[bn.Name()]
+			if !ok1 || !ok2 {
+				panic("nn: state missing BN stats for " + bn.Name())
+			}
+			copy(bn.RunningMean, rm)
+			copy(bn.RunningVar, rv)
+		}
+	})
+}

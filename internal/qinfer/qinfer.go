@@ -1,0 +1,356 @@
+// Package qinfer is an 8-bit integer inference engine — the deployment
+// form of the models the paper protects. Convolutions run on int8 weights
+// and int8 activations with int32 accumulators; batch-norm layers are
+// folded into per-channel affine rescaling applied at requantization; and
+// activations are quantized symmetrically with per-stage scales fixed by a
+// one-shot calibration pass. This is the engine whose weight-fetch path
+// RADAR's checksum rides in the gem5 experiments (Tables IV/V); it also
+// demonstrates that the defense needs no floating-point weight copy:
+// detection and recovery act directly on the int8 image this engine
+// consumes.
+package qinfer
+
+import (
+	"fmt"
+	"math"
+
+	"radar/internal/nn"
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+// QTensor is an int8 activation tensor with a symmetric scale:
+// real value ≈ Scale · Q.
+type QTensor struct {
+	// Shape is outermost-first, as in tensor.Tensor.
+	Shape []int
+	// Q holds the quantized values.
+	Q []int8
+	// Scale is the dequantization step.
+	Scale float32
+}
+
+// NewQTensor allocates a zero QTensor.
+func NewQTensor(scale float32, shape ...int) *QTensor {
+	return &QTensor{Shape: append([]int(nil), shape...), Q: make([]int8, tensor.Volume(shape)), Scale: scale}
+}
+
+// QuantizeActivations converts a float tensor to int8 with the given scale.
+func QuantizeActivations(x *tensor.Tensor, scale float32) *QTensor {
+	out := NewQTensor(scale, x.Shape...)
+	for i, v := range x.Data {
+		out.Q[i] = clampQ(float64(v) / float64(scale))
+	}
+	return out
+}
+
+// Dequantize converts back to float.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Shape...)
+	for i, v := range q.Q {
+		out.Data[i] = float32(v) * q.Scale
+	}
+	return out
+}
+
+func clampQ(v float64) int8 {
+	r := math.Round(v)
+	if r > 127 {
+		return 127
+	}
+	if r < -128 {
+		return -128
+	}
+	return int8(r)
+}
+
+// foldedBN is a batch-norm layer collapsed to y = A·x + B per channel
+// (inference-mode statistics baked in).
+type foldedBN struct {
+	a, b []float32
+}
+
+func foldBN(bn *nn.BatchNorm2D) foldedBN {
+	n := bn.C
+	f := foldedBN{a: make([]float32, n), b: make([]float32, n)}
+	for c := 0; c < n; c++ {
+		inv := 1.0 / math.Sqrt(bn.RunningVar[c]+bn.Eps)
+		g := float64(bn.Gamma.Value.Data[c])
+		f.a[c] = float32(g * inv)
+		f.b[c] = float32(float64(bn.Beta.Value.Data[c]) - g*inv*bn.RunningMean[c])
+	}
+	return f
+}
+
+// qconv is one quantized convolution stage: int8 weights, folded BN,
+// optional ReLU, and a fixed output activation scale.
+type qconv struct {
+	name           string
+	w              []int8 // (outC, inC*k*k) row-major
+	wScale         float32
+	inC, outC      int
+	k, stride, pad int
+	bn             foldedBN
+	relu           bool
+	outScale       float32
+}
+
+// forward computes the stage on an int8 input of shape (N, inC, H, W).
+func (c *qconv) forward(x *QTensor) *QTensor {
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ch != c.inC {
+		panic("qinfer: channel mismatch in " + c.name)
+	}
+	outH := tensor.ConvOutSize(h, c.k, c.stride, c.pad)
+	outW := tensor.ConvOutSize(w, c.k, c.stride, c.pad)
+	out := NewQTensor(c.outScale, n, c.outC, outH, outW)
+	kk := c.k * c.k
+	cols := c.inC * kk
+	// Effective multiplier from int32 accumulator to real value.
+	accScale := float64(c.wScale) * float64(x.Scale)
+	for img := 0; img < n; img++ {
+		inBase := img * ch * h * w
+		outBase := img * c.outC * outH * outW
+		for oc := 0; oc < c.outC; oc++ {
+			wRow := c.w[oc*cols : (oc+1)*cols]
+			a := float64(c.bn.a[oc])
+			bb := float64(c.bn.b[oc])
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					var acc int32
+					for ic := 0; ic < c.inC; ic++ {
+						icBase := inBase + ic*h*w
+						wBase := ic * kk
+						for ky := 0; ky < c.k; ky++ {
+							iy := oy*c.stride - c.pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							rowBase := icBase + iy*w
+							wRowBase := wBase + ky*c.k
+							for kx := 0; kx < c.k; kx++ {
+								ix := ox*c.stride - c.pad + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += int32(wRow[wRowBase+kx]) * int32(x.Q[rowBase+ix])
+							}
+						}
+					}
+					v := a*(accScale*float64(acc)) + bb
+					if c.relu && v < 0 {
+						v = 0
+					}
+					out.Q[outBase+oc*outH*outW+oy*outW+ox] = clampQ(v / float64(c.outScale))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// qblock is a quantized residual basic block.
+type qblock struct {
+	conv1, conv2 *qconv
+	down         *qconv // nil for identity shortcuts
+	outScale     float32
+}
+
+func (b *qblock) forward(x *QTensor) *QTensor {
+	main := b.conv1.forward(x)
+	main = b.conv2.forward(main)
+	side := x
+	if b.down != nil {
+		side = b.down.forward(x)
+	}
+	// Residual add in the real domain, then ReLU and requantize.
+	out := NewQTensor(b.outScale, main.Shape...)
+	ms, ss := float64(main.Scale), float64(side.Scale)
+	for i := range out.Q {
+		v := ms*float64(main.Q[i]) + ss*float64(side.Q[i])
+		if v < 0 {
+			v = 0
+		}
+		out.Q[i] = clampQ(v / float64(b.outScale))
+	}
+	return out
+}
+
+// Engine is a compiled int8 inference network mirroring a ResNet built by
+// nn.BuildResNet.
+type Engine struct {
+	inScale float32
+	stem    *qconv
+	pool    bool
+	blocks  []*qblock
+	// fc runs in float (a single tiny matmul, standard in int8 deployments).
+	fcW *tensor.Tensor
+	fcB *tensor.Tensor
+	// gapScale is the activation scale feeding global average pooling.
+}
+
+// Compile converts a trained float ResNet plus its quantized weight image
+// into an int8 engine. calib is a representative input batch used to fix
+// the activation scales (one forward pass through the engine in
+// float-observation mode).
+func Compile(net *nn.Sequential, qm *quant.Model, calib *tensor.Tensor) (*Engine, error) {
+	e := &Engine{}
+	var blocks []*qblock
+	layers := net.Layers
+	li := 0
+	qIdx := 0
+	nextQ := func(name string) *quant.Layer {
+		if qIdx >= len(qm.Layers) {
+			panic("qinfer: ran out of quantized layers at " + name)
+		}
+		l := qm.Layers[qIdx]
+		qIdx++
+		if l.Name != name {
+			panic(fmt.Sprintf("qinfer: expected quantized layer %s, got %s", name, l.Name))
+		}
+		return l
+	}
+
+	makeConv := func(conv *nn.Conv2D, bn *nn.BatchNorm2D, relu bool) *qconv {
+		ql := nextQ(conv.Weight.Name)
+		return &qconv{
+			name:   conv.Name(),
+			w:      ql.Q,
+			wScale: ql.Scale,
+			inC:    conv.InC, outC: conv.OutC,
+			k: conv.K, stride: conv.Stride, pad: conv.Pad,
+			bn:   foldBN(bn),
+			relu: relu,
+		}
+	}
+
+	// Stem: Conv2D, BatchNorm2D, ReLU, [MaxPool2].
+	conv, ok := layers[li].(*nn.Conv2D)
+	if !ok {
+		return nil, fmt.Errorf("qinfer: layer 0 is %T, want *nn.Conv2D", layers[li])
+	}
+	bn, ok := layers[li+1].(*nn.BatchNorm2D)
+	if !ok {
+		return nil, fmt.Errorf("qinfer: layer 1 is %T, want *nn.BatchNorm2D", layers[li+1])
+	}
+	e.stem = makeConv(conv, bn, true)
+	li += 3 // conv, bn, relu
+	if _, isPool := layers[li].(*nn.MaxPool2); isPool {
+		e.pool = true
+		li++
+	}
+	for ; li < len(layers); li++ {
+		switch l := layers[li].(type) {
+		case *nn.BasicBlock:
+			qb := &qblock{
+				conv1: makeConv(l.Conv1, l.BN1, true),
+				conv2: makeConv(l.Conv2, l.BN2, false),
+			}
+			if l.DownConv != nil {
+				qb.down = makeConv(l.DownConv, l.DownBN, false)
+			}
+			blocks = append(blocks, qb)
+		case *nn.GlobalAvgPool:
+			// done with conv stages
+		case *nn.Linear:
+			e.fcW = l.Weight.Value.Clone()
+			e.fcB = l.Bias.Value.Clone()
+		default:
+			return nil, fmt.Errorf("qinfer: unsupported layer %T", l)
+		}
+	}
+	e.blocks = blocks
+	if e.fcW == nil {
+		return nil, fmt.Errorf("qinfer: model has no final Linear layer")
+	}
+	e.calibrate(net, calib)
+	return e, nil
+}
+
+// calibrate runs the float network stage by stage on the calibration batch
+// and sets every activation scale to maxAbs/127 of the observed outputs.
+func (e *Engine) calibrate(net *nn.Sequential, calib *tensor.Tensor) {
+	e.inScale = calib.MaxAbs() / 127
+	if e.inScale == 0 {
+		e.inScale = 1
+	}
+	x := calib
+	scaleOf := func(t *tensor.Tensor) float32 {
+		s := t.MaxAbs() / 127
+		if s == 0 {
+			s = 1
+		}
+		return s
+	}
+	bi := 0
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D, *nn.BatchNorm2D, *nn.ReLU, *nn.MaxPool2:
+			x = l.Forward(x, false)
+			if _, isRelu := v.(*nn.ReLU); isRelu && e.stem.outScale == 0 {
+				e.stem.outScale = scaleOf(x)
+			}
+		case *nn.BasicBlock:
+			// Observe the block's internal stages in float.
+			mid := v.Conv1.Forward(x, false)
+			mid = v.BN1.Forward(mid, false)
+			mid = v.Relu1.Forward(mid, false)
+			e.blocks[bi].conv1.outScale = scaleOf(mid)
+			main := v.Conv2.Forward(mid, false)
+			main = v.BN2.Forward(main, false)
+			e.blocks[bi].conv2.outScale = scaleOf(main)
+			side := x
+			if v.DownConv != nil {
+				side = v.DownConv.Forward(x, false)
+				side = v.DownBN.Forward(side, false)
+				e.blocks[bi].down.outScale = scaleOf(side)
+			}
+			sum := tensor.Add(main, side)
+			out := v.Relu2.Forward(sum, false)
+			e.blocks[bi].outScale = scaleOf(out)
+			x = out
+			bi++
+		case *nn.GlobalAvgPool, *nn.Linear:
+			x = l.Forward(x, false)
+		}
+	}
+}
+
+// Forward runs int8 inference on a float input batch (N, C, H, W) and
+// returns float logits (N, classes).
+func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
+	q := QuantizeActivations(x, e.inScale)
+	q = e.stem.forward(q)
+	if e.pool {
+		f := q.Dequantize()
+		pooled, _ := tensor.MaxPool2(f)
+		q = QuantizeActivations(pooled, q.Scale)
+	}
+	for _, b := range e.blocks {
+		q = b.forward(q)
+	}
+	// Global average pool in the real domain, then the float classifier.
+	f := q.Dequantize()
+	gap := tensor.GlobalAvgPool(f)
+	out := tensor.MatMulTransB(gap, e.fcW)
+	n, k := out.Shape[0], out.Shape[1]
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			out.Data[i*k+j] += e.fcB.Data[j]
+		}
+	}
+	return out
+}
+
+// Accuracy evaluates top-1 accuracy of the int8 engine.
+func (e *Engine) Accuracy(x *tensor.Tensor, labels []int) float64 {
+	out := e.Forward(x)
+	k := out.Shape[1]
+	correct := 0
+	for i := range labels {
+		if out.Argmax(i*k, k) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

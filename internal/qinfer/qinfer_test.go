@@ -1,0 +1,183 @@
+package qinfer
+
+import (
+	"math/rand"
+	"testing"
+
+	"radar/internal/attack"
+	"radar/internal/core"
+	"radar/internal/model"
+	"radar/internal/nn"
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+func compileTiny(t testing.TB) (*model.Bundle, *Engine) {
+	t.Helper()
+	b := model.Load(model.TinySpec())
+	calib, _ := b.Attack.Batch(0, 64)
+	e, err := Compile(b.Net, b.QModel, calib)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return b, e
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 3, 4, 4)
+	x.RandNormal(rng, 1)
+	scale := x.MaxAbs() / 127
+	q := QuantizeActivations(x, scale)
+	back := q.Dequantize()
+	for i := range x.Data {
+		diff := float64(x.Data[i] - back.Data[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > float64(scale)/2+1e-6 {
+			t.Fatalf("element %d: round-trip error %v exceeds scale/2", i, diff)
+		}
+	}
+}
+
+func TestClampQSaturates(t *testing.T) {
+	if clampQ(1e9) != 127 || clampQ(-1e9) != -128 {
+		t.Fatal("clamp saturation wrong")
+	}
+	if clampQ(0.4) != 0 || clampQ(0.6) != 1 || clampQ(-0.6) != -1 {
+		t.Fatal("clamp rounding wrong")
+	}
+}
+
+func TestEngineMatchesFloatAccuracy(t *testing.T) {
+	b, e := compileTiny(t)
+	x, labels := b.Test.Batch(0, 200)
+	floatOut := b.Net.Forward(x, false)
+	k := floatOut.Shape[1]
+	floatAcc := 0
+	for i := range labels {
+		if floatOut.Argmax(i*k, k) == labels[i] {
+			floatAcc++
+		}
+	}
+	intAcc := e.Accuracy(x, labels)
+	if diff := float64(floatAcc)/float64(len(labels)) - intAcc; diff > 0.08 || diff < -0.08 {
+		t.Fatalf("int8 engine accuracy %.3f differs from float %.3f by more than 8 points",
+			intAcc, float64(floatAcc)/float64(len(labels)))
+	}
+}
+
+func TestEnginePredictionAgreement(t *testing.T) {
+	b, e := compileTiny(t)
+	x, _ := b.Test.Batch(0, 200)
+	floatOut := b.Net.Forward(x, false)
+	intOut := e.Forward(x)
+	k := floatOut.Shape[1]
+	agree := 0
+	for i := 0; i < 200; i++ {
+		if floatOut.Argmax(i*k, k) == intOut.Argmax(i*k, k) {
+			agree++
+		}
+	}
+	if agree < 170 {
+		t.Fatalf("int8/float top-1 agreement %d/200 too low", agree)
+	}
+}
+
+// TestEngineConsumesDRAMImage: the engine aliases the quantized storage, so
+// a bit flip in the DRAM image immediately changes int8 inference — no
+// separate float copy exists to hide the corruption.
+func TestEngineConsumesDRAMImage(t *testing.T) {
+	b, e := compileTiny(t)
+	x, _ := b.Test.Batch(0, 50)
+	before := e.Forward(x).Clone()
+
+	// Flip the MSB of a stem weight directly in the quantized image.
+	addr := quant.BitAddress{LayerIndex: 0, WeightIndex: 1, Bit: quant.MSB}
+	b.QModel.FlipBit(addr)
+
+	after := e.Forward(x)
+	changed := false
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("bit flip in DRAM image did not affect int8 inference")
+	}
+}
+
+// TestRADARRecoveryRestoresEngine: protect → attack → recover acts on the
+// same int8 image the engine reads, so recovery restores engine behaviour.
+func TestRADARRecoveryRestoresEngine(t *testing.T) {
+	b, e := compileTiny(t)
+	x, labels := b.Test.Batch(0, 200)
+	clean := e.Accuracy(x, labels)
+
+	prot := core.Protect(b.QModel, core.DefaultConfig(4))
+	cfg := attack.DefaultConfig(5)
+	cfg.NumFlips = 6
+	attack.PBFA(b.QModel, b.Attack, cfg)
+	attacked := e.Accuracy(x, labels)
+
+	prot.DetectAndRecover()
+	recovered := e.Accuracy(x, labels)
+
+	if attacked >= clean {
+		t.Skipf("attack did not reduce int8 accuracy (%.2f vs %.2f)", attacked, clean)
+	}
+	if recovered < attacked-0.02 {
+		t.Fatalf("recovery hurt engine accuracy: clean %.2f attacked %.2f recovered %.2f",
+			clean, attacked, recovered)
+	}
+}
+
+func TestCompileRejectsNonResNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.NewSequential("mlp",
+		nn.NewLinear("fc", 4, 4, rng),
+	)
+	qm := quant.Quantize(net)
+	x := tensor.New(1, 4)
+	if _, err := Compile(net, qm, x); err == nil {
+		t.Fatal("expected error for non-ResNet model")
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	b, e := compileTiny(t)
+	x, _ := b.Test.Batch(0, 20)
+	a := e.Forward(x)
+	bOut := e.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != bOut.Data[i] {
+			t.Fatal("int8 inference not deterministic")
+		}
+	}
+}
+
+func TestEngineWithImageNetStem(t *testing.T) {
+	// A small ImageNet-style stem (7×7 stride-2 conv + maxpool) must
+	// compile and run.
+	rng := rand.New(rand.NewSource(3))
+	cfg := nn.ResNet18Config(4, 5, false)
+	net := nn.BuildResNet(cfg, rng)
+	// Feed a few batches through train mode so BN stats are sane.
+	warm := tensor.New(4, 3, 32, 32)
+	warm.RandNormal(rng, 1)
+	net.Forward(warm, true)
+	qm := quant.Quantize(net)
+	calib := tensor.New(2, 3, 32, 32)
+	calib.RandNormal(rng, 1)
+	e, err := Compile(net, qm, calib)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	out := e.Forward(calib)
+	if out.Shape[0] != 2 || out.Shape[1] != 5 {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+}

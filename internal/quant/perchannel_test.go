@@ -1,0 +1,71 @@
+package quant
+
+import "testing"
+
+func TestPerChannelScalesPerRow(t *testing.T) {
+	m := QuantizePerChannel(tinyNet(20))
+	for _, l := range m.Layers {
+		rows := l.Param.Value.Shape[0]
+		if len(l.Scales) != rows {
+			t.Fatalf("%s: %d scales for %d channels", l.Name, len(l.Scales), rows)
+		}
+		if l.Scale != l.Scales[0] {
+			t.Fatalf("%s: Scale field does not mirror Scales[0]", l.Name)
+		}
+	}
+}
+
+func TestPerChannelReducesQuantError(t *testing.T) {
+	// Per-channel quantization must not be worse than per-layer on any
+	// layer, and strictly better on at least one (rows have different
+	// magnitudes with overwhelming probability).
+	netA := tinyNet(21)
+	netB := tinyNet(21) // identical weights
+	var originals [][]float32
+	for _, p := range netA.Params() {
+		if p.WeightDecay {
+			originals = append(originals, append([]float32(nil), p.Value.Data...))
+		}
+	}
+	perLayer := Quantize(netA)
+	perChan := QuantizePerChannel(netB)
+	better := false
+	for i := range perLayer.Layers {
+		eL := perLayer.Layers[i].QuantError(originals[i])
+		eC := perChan.Layers[i].QuantError(originals[i])
+		if eC > eL*1.0001 {
+			t.Fatalf("%s: per-channel error %v worse than per-layer %v",
+				perLayer.Layers[i].Name, eC, eL)
+		}
+		if eC < eL*0.999 {
+			better = true
+		}
+	}
+	if !better {
+		t.Fatal("per-channel quantization never improved on per-layer")
+	}
+}
+
+func TestPerChannelSyncUsesRowScale(t *testing.T) {
+	m := QuantizePerChannel(tinyNet(22))
+	l := m.Layers[0]
+	cols := len(l.Q) / len(l.Scales)
+	for i, q := range l.Q {
+		want := float32(q) * l.Scales[i/cols]
+		if l.Param.Value.Data[i] != want {
+			t.Fatalf("weight %d synced with wrong scale", i)
+		}
+	}
+}
+
+func TestPerChannelFlipBitSyncs(t *testing.T) {
+	m := QuantizePerChannel(tinyNet(23))
+	a := BitAddress{LayerIndex: 1, WeightIndex: 4, Bit: MSB}
+	m.FlipBit(a)
+	l := m.Layers[1]
+	cols := len(l.Q) / len(l.Scales)
+	want := float32(l.Q[4]) * l.Scales[4/cols]
+	if l.Param.Value.Data[4] != want {
+		t.Fatal("FlipBit did not sync with per-channel scale")
+	}
+}

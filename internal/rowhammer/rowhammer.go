@@ -1,0 +1,158 @@
+// Package rowhammer simulates the hardware half of the paper's threat
+// model (§III, Fig 1): a DRAM main memory holding the model's quantized
+// weights, and an attacker who induces bit flips in victim rows by
+// repeatedly activating aggressor rows. The simulator maps every quantized
+// weight to a (bank, row, column) location, tracks per-row activation
+// counts, and flips victim bits once the hammer count crosses a threshold —
+// delivering exactly the "attacker can flip chosen DRAM bits at run time"
+// capability the paper assumes, so integration tests can mount PBFA
+// profiles mid-inference.
+package rowhammer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"radar/internal/quant"
+)
+
+// Geometry describes the simulated DRAM organization.
+type Geometry struct {
+	// Banks is the number of banks.
+	Banks int
+	// RowBytes is the row (page) size in bytes.
+	RowBytes int
+	// HammerThreshold is the aggressor activation count at which victim
+	// bits begin to flip (real DDR3/DDR4 parts: tens to hundreds of
+	// thousands; the default is scaled down so tests run quickly).
+	HammerThreshold int
+	// FlipProbability is the per-targeted-bit success probability once the
+	// threshold is reached (real rowhammer is probabilistic; profiles are
+	// built from repeatable flip locations).
+	FlipProbability float64
+}
+
+// DefaultGeometry returns a DDR3-like organization with an 8 KB row.
+func DefaultGeometry() Geometry {
+	return Geometry{Banks: 8, RowBytes: 8192, HammerThreshold: 50_000, FlipProbability: 1.0}
+}
+
+// Location is a physical DRAM coordinate of one weight byte.
+type Location struct {
+	// Bank, Row and Col identify the byte.
+	Bank, Row, Col int
+}
+
+// String renders the location.
+func (l Location) String() string {
+	return fmt.Sprintf("bank%d/row%d/col%d", l.Bank, l.Row, l.Col)
+}
+
+// DRAM is the simulated main memory holding a quantized model image.
+type DRAM struct {
+	// Geometry echoes the configuration.
+	Geometry Geometry
+	// Model is the weight image stored in this DRAM.
+	Model *quant.Model
+
+	// layerBase[i] is the flat byte offset of layer i.
+	layerBase []int
+	totalSize int
+	// activations counts row activations per (bank,row) key.
+	activations map[[2]int]int
+	rng         *rand.Rand
+	// FlipLog records every induced flip.
+	FlipLog []quant.BitAddress
+}
+
+// New places the model's quantized layers contiguously into the simulated
+// DRAM, row-major across banks (bank interleaving at row granularity).
+func New(m *quant.Model, geo Geometry, seed int64) *DRAM {
+	d := &DRAM{
+		Geometry:    geo,
+		Model:       m,
+		activations: make(map[[2]int]int),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	off := 0
+	for _, l := range m.Layers {
+		d.layerBase = append(d.layerBase, off)
+		off += len(l.Q)
+	}
+	d.totalSize = off
+	return d
+}
+
+// LocationOf maps a weight to its DRAM coordinates.
+func (d *DRAM) LocationOf(a quant.BitAddress) Location {
+	flat := d.layerBase[a.LayerIndex] + a.WeightIndex
+	rowGlobal := flat / d.Geometry.RowBytes
+	return Location{
+		Bank: rowGlobal % d.Geometry.Banks,
+		Row:  rowGlobal / d.Geometry.Banks,
+		Col:  flat % d.Geometry.RowBytes,
+	}
+}
+
+// AggressorRows returns the two rows the attacker hammers to disturb the
+// victim row of the given location (classic double-sided rowhammer).
+func (d *DRAM) AggressorRows(victim Location) (above, below Location) {
+	above = Location{Bank: victim.Bank, Row: victim.Row - 1}
+	below = Location{Bank: victim.Bank, Row: victim.Row + 1}
+	return above, below
+}
+
+// Activate records n activations of a row (the attacker's hammering reads).
+func (d *DRAM) Activate(loc Location, n int) {
+	d.activations[[2]int{loc.Bank, loc.Row}] += n
+}
+
+// HammerCount returns accumulated activations of a row.
+func (d *DRAM) HammerCount(loc Location) int {
+	return d.activations[[2]int{loc.Bank, loc.Row}]
+}
+
+// TryFlip attempts to flip the addressed bit: it succeeds only when both
+// aggressor rows of the victim have crossed the hammer threshold, and then
+// only with the configured probability. It reports whether the flip
+// landed.
+func (d *DRAM) TryFlip(a quant.BitAddress) bool {
+	victim := d.LocationOf(a)
+	up, down := d.AggressorRows(victim)
+	if d.HammerCount(up) < d.Geometry.HammerThreshold ||
+		d.HammerCount(down) < d.Geometry.HammerThreshold {
+		return false
+	}
+	if d.rng.Float64() > d.Geometry.FlipProbability {
+		return false
+	}
+	d.Model.FlipBit(a)
+	d.FlipLog = append(d.FlipLog, a)
+	return true
+}
+
+// MountProfile performs the full §III attack sequence for a PBFA-derived
+// bit profile: for each vulnerable bit, hammer both aggressor rows past
+// the threshold and flip. It returns the number of bits actually flipped.
+func (d *DRAM) MountProfile(addrs []quant.BitAddress) int {
+	flipped := 0
+	for _, a := range addrs {
+		victim := d.LocationOf(a)
+		up, down := d.AggressorRows(victim)
+		d.Activate(up, d.Geometry.HammerThreshold)
+		d.Activate(down, d.Geometry.HammerThreshold)
+		if d.TryFlip(a) {
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// Refresh clears all accumulated activations (DRAM refresh resets the
+// disturbance state; a real attacker must hammer within a refresh window).
+func (d *DRAM) Refresh() {
+	d.activations = make(map[[2]int]int)
+}
+
+// TotalBytes returns the size of the stored weight image.
+func (d *DRAM) TotalBytes() int { return d.totalSize }

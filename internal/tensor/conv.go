@@ -1,0 +1,80 @@
+package tensor
+
+// Im2Col unfolds an input tensor x of shape (C, H, W) into a matrix of shape
+// (C*kh*kw, outH*outW) such that convolution reduces to a matrix product
+// with the (outC, C*kh*kw) weight matrix. Zero padding of pad pixels is
+// applied on all four sides and the kernel advances by stride.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.NDim() != 3 {
+		panic("tensor: Im2Col requires a (C,H,W) input")
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := New(c*kh*kw, outH*outW)
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := ((ch*kh)+ki)*kw + kj
+				dst := cols.Data[row*outH*outW:]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue // leave zeros
+					}
+					srcRow := chBase + iy*w
+					dstRow := oy * outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kj
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst[dstRow+ox] = x.Data[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a (C*kh*kw, outH*outW) column matrix back into a (C, H, W)
+// tensor, accumulating overlapping contributions. It is the adjoint of
+// Im2Col and is used to propagate gradients to the convolution input.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	x := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := ((ch*kh)+ki)*kw + kj
+				src := cols.Data[row*outH*outW:]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := chBase + iy*w
+					srcRow := oy * outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride - pad + kj
+						if ix < 0 || ix >= w {
+							continue
+						}
+						x.Data[dstRow+ix] += src[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// ConvOutSize returns the spatial output size of a convolution with the
+// given input size, kernel, stride and padding.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,83 @@
+package tensor
+
+// GlobalAvgPool reduces a (N, C, H, W) tensor to (N, C) by averaging each
+// spatial plane.
+func GlobalAvgPool(x *Tensor) *Tensor {
+	if x.NDim() != 4 {
+		panic("tensor: GlobalAvgPool requires (N,C,H,W)")
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := New(n, c)
+	plane := h * w
+	inv := 1.0 / float32(plane)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * plane
+			var s float32
+			for p := 0; p < plane; p++ {
+				s += x.Data[base+p]
+			}
+			out.Data[i*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// GlobalAvgPoolBackward spreads a (N, C) gradient uniformly back over the
+// (N, C, H, W) input shape.
+func GlobalAvgPoolBackward(grad *Tensor, h, w int) *Tensor {
+	n, c := grad.Shape[0], grad.Shape[1]
+	out := New(n, c, h, w)
+	plane := h * w
+	inv := 1.0 / float32(plane)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			g := grad.Data[i*c+ch] * inv
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				out.Data[base+p] = g
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2 performs 2×2 max pooling with stride 2 on a (N, C, H, W) tensor
+// and returns the pooled tensor together with the argmax index map needed
+// for the backward pass. H and W must be even.
+func MaxPool2(x *Tensor) (*Tensor, []int32) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/2, w/2
+	out := New(n, c, oh, ow)
+	arg := make([]int32, n*c*oh*ow)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			obase := (i*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i0 := base + (2*oy)*w + 2*ox
+					best, bi := x.Data[i0], i0
+					for _, idx := range [3]int{i0 + 1, i0 + w, i0 + w + 1} {
+						if x.Data[idx] > best {
+							best, bi = x.Data[idx], idx
+						}
+					}
+					out.Data[obase+oy*ow+ox] = best
+					arg[obase+oy*ow+ox] = int32(bi)
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2Backward routes the pooled gradient back to the argmax positions
+// recorded by MaxPool2.
+func MaxPool2Backward(grad *Tensor, arg []int32, inShape []int) *Tensor {
+	out := New(inShape...)
+	for i, g := range grad.Data {
+		out.Data[arg[i]] += g
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package radar_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"radar"
+	"radar/internal/nn"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end exactly as the
+// README quickstart does.
+func TestFacadeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.BuildResNet(nn.ResNet20Config(4, 10), rng)
+	qm := radar.Quantize(net)
+	if qm.TotalWeights() == 0 {
+		t.Fatal("no weights quantized")
+	}
+	prot := radar.Protect(qm, radar.DefaultConfig(16))
+	if flagged := prot.Scan(); len(flagged) != 0 {
+		t.Fatalf("clean model flagged: %v", flagged)
+	}
+	addr := radar.BitAddress{LayerIndex: 1, WeightIndex: 5, Bit: 7}
+	qm.FlipBit(addr)
+	flagged, zeroed := prot.DetectAndRecover()
+	if len(flagged) != 1 || zeroed == 0 {
+		t.Fatalf("detect/recover failed: flagged=%v zeroed=%d", flagged, zeroed)
+	}
+	if again := prot.Scan(); len(again) != 0 {
+		t.Fatalf("post-recovery scan not clean: %v", again)
+	}
+}
+
+func TestFacadeDefaultConfig(t *testing.T) {
+	cfg := radar.DefaultConfig(512)
+	if cfg.G != 512 || !cfg.Interleave || cfg.SigBits != 2 {
+		t.Fatalf("unexpected default config: %+v", cfg)
+	}
+}
+
+func TestFacadeStoragePlanning(t *testing.T) {
+	// Capacity planning without a model: paper's ResNet-18 number.
+	weights := make([]int, 0, 43)
+	total := 0
+	for total < 11_689_512 {
+		w := 272_000
+		if total+w > 11_689_512 {
+			w = 11_689_512 - total
+		}
+		weights = append(weights, w)
+		total += w
+	}
+	st := radar.StorageForWeights(weights, 512, 2, true)
+	kb := st.SignatureKB()
+	if kb < 5.4 || kb > 5.8 {
+		t.Fatalf("storage %.2f KB, want ≈5.6", kb)
+	}
+}
+
+func TestFacadeSealUnseal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := nn.BuildResNet(nn.ResNet20Config(4, 10), rng)
+	qm := radar.Quantize(net)
+	prot := radar.Protect(qm, radar.DefaultConfig(8))
+	store := prot.Seal()
+	if store.Size() == 0 {
+		t.Fatal("empty sealed store")
+	}
+}
