@@ -1,0 +1,32 @@
+# Single entry point shared by CI (.github/workflows/ci.yml) and local dev.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -timeout 30m ./...
+
+# Race-detect the parallel scan engine (the only concurrent subsystem).
+race:
+	$(GO) test -race -timeout 20m ./internal/core/...
+
+# Full benchmark sweep (slow; trains zoo models on first run).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Fast guard that the scan benchmarks still compile and run (1 iteration;
+# checkpoints come from testdata/models, so no training happens).
+bench-smoke:
+	$(GO) test -bench=Scan -benchtime=1x -run '^$$' .
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .

@@ -7,6 +7,7 @@
 package radar_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -176,6 +177,63 @@ func BenchmarkAblationBatch(b *testing.B) {
 }
 
 // --- Throughput microbenchmarks (the raw costs Tables IV/V model) ---
+
+// BenchmarkScan sweeps the parallel scan engine's worker pool (1/2/4/N)
+// over a synthetic full-scale ResNet-18 ImageNet weight image (11.7M
+// weights, the paper's G=512 deployment point). Each sub-benchmark
+// verifies the flagged-group output is identical to the workers=1 sweep,
+// so any scheduling nondeterminism fails the benchmark rather than
+// skewing it.
+func BenchmarkScan(b *testing.B) {
+	qm := model.SyntheticQuant(model.ResNet18ImageNetShapes())
+	cfg := radar.DefaultConfig(512)
+	cfg.Workers = 1
+	prot := radar.Protect(qm, cfg)
+	model.ScatterMSBFlips(qm, 64) // real mismatches for the scan to report
+	var baseline []radar.GroupID
+	for _, w := range exp.ScanWorkerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prot.SetWorkers(w)
+			b.SetBytes(int64(qm.TotalWeights()))
+			b.ResetTimer()
+			var flagged []radar.GroupID
+			for i := 0; i < b.N; i++ {
+				flagged = prot.Scan()
+			}
+			b.StopTimer()
+			if baseline == nil {
+				baseline = flagged
+			}
+			if len(flagged) != len(baseline) {
+				b.Fatalf("workers=%d flagged %d groups, workers=1 flagged %d",
+					w, len(flagged), len(baseline))
+			}
+			for i := range flagged {
+				if flagged[i] != baseline[i] {
+					b.Fatalf("workers=%d diverges from workers=1 at %d: %v vs %v",
+						w, i, flagged[i], baseline[i])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanDirty measures the incremental scan: one layer dirtied per
+// iteration, the rest skipped — the steady-state cost of guarding a model
+// that receives sparse writes.
+func BenchmarkScanDirty(b *testing.B) {
+	qm := model.SyntheticQuant(model.ResNet18ImageNetShapes())
+	prot := radar.Protect(qm, radar.DefaultConfig(512))
+	b.SetBytes(int64(len(qm.Layers[0].Q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qm.Layers[0].Q[i%len(qm.Layers[0].Q)] ^= 0 // keep weights clean…
+		prot.MarkLayerDirty(0)                     // …but force a layer-0 rescan
+		if flagged := prot.ScanDirty(); len(flagged) != 0 {
+			b.Fatal("clean model flagged")
+		}
+	}
+}
 
 // BenchmarkSignatureScan measures RADAR's software checksum throughput
 // over a ResNet-18-scale weight image (11.7 MB) at G=512, interleaved.

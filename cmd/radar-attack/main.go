@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	radar-attack [-model resnet20s|resnet18s] [-flips 10] [-seed 1] [-bit6]
+//	radar-attack [-model resnet20s|resnet18s] [-flips 10] [-seed 1] [-bit6] [-radar 0] [-workers 0]
+//
+// With -radar G > 0 the model is RADAR-protected (group size G) before the
+// attack, and afterwards the parallel incremental scan (ScanDirty, pool
+// sized by -workers, 0 = one per CPU) reports how many of the attack's
+// flips the defense would catch.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"time"
 
 	"radar/internal/attack"
+	"radar/internal/core"
 	"radar/internal/model"
 )
 
@@ -22,6 +28,8 @@ func main() {
 	flips := flag.Int("flips", 10, "number of bit flips (N_BF)")
 	seed := flag.Int64("seed", 1, "attack seed (selects the attack batch)")
 	bit6 := flag.Bool("bit6", false, "restrict the attacker to MSB-1 (§VIII)")
+	radarG := flag.Int("radar", 0, "RADAR group size for post-attack detection preview (0 = off)")
+	workers := flag.Int("workers", 0, "scan worker pool size (0 = one per CPU)")
 	flag.Parse()
 
 	var spec model.Spec
@@ -47,6 +55,13 @@ func main() {
 		cfg.AllowedBits = []int{6}
 	}
 
+	var prot *core.Protector
+	if *radarG > 0 {
+		pcfg := core.DefaultConfig(*radarG)
+		pcfg.Workers = *workers
+		prot = core.Protect(b.QModel, pcfg)
+	}
+
 	t0 := time.Now()
 	profile := attack.PBFA(b.QModel, b.Attack, cfg)
 	elapsed := time.Since(t0)
@@ -64,4 +79,15 @@ func main() {
 	fmt.Printf("\nbit positions: MSB(0→1)=%d MSB(1→0)=%d others=%d\n", s.MSB01, s.MSB10, s.Others)
 	fmt.Printf("weight ranges: (-128,-32]=%d (-32,0]=%d (0,32)=%d [32,127)=%d\n",
 		r.NegLarge, r.NegSmall, r.PosSmall, r.PosLarge)
+
+	if prot != nil {
+		// The PBFA trial loop dirtied the layers it touched; the
+		// incremental scan re-checks only those.
+		t1 := time.Now()
+		flagged := prot.ScanDirty()
+		detected := prot.CountDetected(profile.Addresses(), flagged)
+		fmt.Printf("\nRADAR preview (G=%d, %d workers): incremental scan flagged %d groups in %v; %d/%d flips detected\n",
+			*radarG, prot.Workers(), len(flagged), time.Since(t1).Round(time.Microsecond),
+			detected, len(profile))
+	}
 }

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*] [-scale quick|full]
+//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale] [-scale quick|full]
+//
+// The scanscale experiment sweeps the parallel scan engine's worker pool
+// (1/2/4/GOMAXPROCS) over a full-scale ResNet-18 weight image and reports
+// per-sweep throughput and speedup.
 package main
 
 import (
@@ -66,6 +70,7 @@ func main() {
 		{"runtime", func() string { return exp.RuntimeDetection(ctx).Render() }},
 		{"engine", func() string { return exp.EngineParity(ctx).Render() }},
 		{"software", func() string { return exp.SoftwareOverhead().Render() }},
+		{"scanscale", func() string { return exp.ScanScaling().Render() }},
 	}
 
 	ran := 0

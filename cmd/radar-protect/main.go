@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	radar-protect [-model resnet20s] [-g 8] [-flips 10] [-no-interleave] [-sig 2]
+//	radar-protect [-model resnet20s] [-g 8] [-flips 10] [-no-interleave] [-sig 2] [-workers 0]
+//
+// -workers sizes the parallel scan engine's pool (0 = one per CPU); the
+// flagged output is identical for every setting.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	noInter := flag.Bool("no-interleave", false, "disable interleaving")
 	sig := flag.Int("sig", 2, "signature bits (2 or 3)")
 	seed := flag.Int64("seed", 1, "seed for attack batch and secrets")
+	workers := flag.Int("workers", 0, "scan worker pool size (0 = one per CPU)")
 	flag.Parse()
 
 	var spec model.Spec
@@ -48,11 +52,11 @@ func main() {
 	// Victim: protected model whose DRAM the attacker hammers.
 	victim := model.Load(spec)
 	clean := model.Evaluate(victim.Net, victim.Test, 100)
-	pcfg := core.Config{G: *g, Interleave: !*noInter, SigBits: *sig, Seed: *seed}
+	pcfg := core.Config{G: *g, Interleave: !*noInter, SigBits: *sig, Seed: *seed, Workers: *workers}
 	prot := core.Protect(victim.QModel, pcfg)
 	st := prot.Storage()
-	fmt.Printf("protected %s: G=%d interleave=%v sig=%d-bit\n",
-		spec.Name, *g, !*noInter, *sig)
+	fmt.Printf("protected %s: G=%d interleave=%v sig=%d-bit scan workers=%d\n",
+		spec.Name, *g, !*noInter, *sig, prot.Workers())
 	fmt.Printf("secure storage: %.2f KB signatures + %d key bits + %d offset bits (%.2f KB total)\n",
 		st.SignatureKB(), st.KeyBits, st.OffsetBits, st.TotalBytes()/1024)
 

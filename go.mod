@@ -1,0 +1,3 @@
+module radar
+
+go 1.24

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps a Config.Workers value to a concrete pool size:
+// non-positive means one worker per available CPU.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// runTasks executes task(0) … task(n-1) on at most workers goroutines.
+// Workers claim task indices from a shared atomic counter, so imbalance
+// between tasks is absorbed without pre-partitioning. Callers must make
+// tasks write to disjoint destinations; the result is then independent of
+// the claiming order. workers <= 1 degenerates to a plain sequential loop
+// with no goroutine or synchronization cost.
+func runTasks(workers, n int, task func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

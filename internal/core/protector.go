@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
 	"radar/internal/quant"
 )
@@ -17,10 +18,19 @@ type Config struct {
 	SigBits int
 	// Seed derives the per-layer secret keys and offsets.
 	Seed int64
+	// Workers bounds the worker pool of the parallel scan/protect engine.
+	// Zero or negative selects runtime.GOMAXPROCS(0). Workers: 1 runs the
+	// engine sequentially; any value produces identical results.
+	Workers int
+	// ShardGroups caps the checksum groups per parallel scan shard. Zero
+	// selects DefaultShardGroups. Shard geometry never changes results,
+	// only load balance.
+	ShardGroups int
 }
 
 // DefaultConfig returns the paper's standard configuration for a given
-// group size: interleaving on, 2-bit signatures.
+// group size: interleaving on, 2-bit signatures, worker pool sized to the
+// machine.
 func DefaultConfig(g int) Config {
 	return Config{G: g, Interleave: true, SigBits: 2, Seed: 0xADA1}
 }
@@ -42,54 +52,192 @@ type Protector struct {
 	Schemes []Scheme
 	// Golden holds the per-layer golden signatures.
 	Golden [][]uint8
+
+	// workers is the configured pool size (0 = GOMAXPROCS, resolved at
+	// scan time so a zero-valued Protector still works).
+	workers int
+	// shardGroups is the configured shard size (0 = DefaultShardGroups).
+	shardGroups int
+
+	// mu guards dirty. Write notifications arrive via the model observer
+	// and may race with scans; the flags are the only shared mutable state.
+	mu sync.Mutex
+	// dirty marks layers written through the quant.Model API since the
+	// layer was last scanned; ScanDirty skips clean layers.
+	dirty []bool
+	// unobserve detaches this protector's write observer from the model;
+	// see Detach.
+	unobserve func()
 }
 
 // Protect computes golden signatures for every quantized layer of m under
 // cfg and returns the Protector. The per-layer 16-bit keys and interleave
 // offsets are drawn from cfg.Seed — these are the secrets of the scheme.
+// Signature generation fans out over cfg.Workers; the golden values are
+// identical for every worker count. The protector registers itself as a
+// write observer of m, so mutations made through the quant.Model API
+// (FlipBit, Restore) mark the touched layers dirty for ScanDirty.
 func Protect(m *quant.Model, cfg Config) *Protector {
+	p := newProtector(m, cfg)
+	p.unobserve = m.Observe(p.markDirty)
+	return p
+}
+
+// newProtector builds the protector state without registering observers
+// (Rekey reuses it to avoid piling observers onto the model).
+func newProtector(m *quant.Model, cfg Config) *Protector {
 	if cfg.SigBits == 0 {
 		cfg.SigBits = 2
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	p := &Protector{Model: m}
-	for _, l := range m.Layers {
-		s := Scheme{
+	p := &Protector{
+		Model:       m,
+		workers:     cfg.Workers,
+		shardGroups: cfg.ShardGroups,
+		dirty:       make([]bool, len(m.Layers)),
+	}
+	// Secrets are drawn sequentially so the scheme stream depends only on
+	// cfg.Seed, never on worker scheduling.
+	for range m.Layers {
+		p.Schemes = append(p.Schemes, Scheme{
 			G:          cfg.G,
 			Interleave: cfg.Interleave,
 			Offset:     DefaultOffset + rng.Intn(4), // per-layer secret offset
 			Key:        uint16(rng.Intn(1 << KeyBits)),
 			SigBits:    cfg.SigBits,
-		}
-		p.Schemes = append(p.Schemes, s)
-		p.Golden = append(p.Golden, s.Signatures(l.Q))
+		})
 	}
+	p.RefreshAll()
 	return p
 }
 
-// Scan recomputes every layer's signatures over the current (possibly
-// corrupted) quantized weights and returns the mismatching groups. This is
-// the operation embedded in the inference weight-fetch path.
-func (p *Protector) Scan() []GroupID {
-	var flagged []GroupID
-	for li, l := range p.Model.Layers {
-		fresh := p.Schemes[li].Signatures(l.Q)
-		for _, j := range Compare(p.Golden[li], fresh) {
-			flagged = append(flagged, GroupID{Layer: li, Group: j})
+// poolSize resolves the configured worker count at call time (under mu:
+// SetWorkers may tune it from another goroutine).
+func (p *Protector) poolSize() int {
+	p.mu.Lock()
+	w := p.workers
+	p.mu.Unlock()
+	return resolveWorkers(w)
+}
+
+// Workers reports the resolved worker-pool size the engine will use.
+func (p *Protector) Workers() int { return p.poolSize() }
+
+// SetWorkers re-sizes the worker pool of an existing protector (w <= 0
+// selects GOMAXPROCS). Scan results are identical for every setting; this
+// exists so benchmarks and deployments can tune concurrency without
+// re-deriving secrets or golden signatures. Safe to call concurrently
+// with scans; in-flight scans keep their pool size.
+func (p *Protector) SetWorkers(w int) {
+	p.mu.Lock()
+	p.workers = w
+	p.mu.Unlock()
+}
+
+// Detach unregisters the protector's write observer from the model. Call
+// it when retiring a protector whose model lives on (e.g. after
+// re-protecting with a different configuration); afterwards ScanDirty no
+// longer sees new writes, so only Scan/ScanLayer give sound results.
+func (p *Protector) Detach() {
+	if p.unobserve != nil {
+		p.unobserve()
+		p.unobserve = nil
+	}
+}
+
+// MarkLayerDirty flags a layer for the next ScanDirty. Callers that mutate
+// Layer.Q directly (bypassing the quant.Model API and its write
+// notifications) use this to keep incremental scanning sound.
+func (p *Protector) MarkLayerDirty(li int) { p.markDirty(li) }
+
+// markDirty records a write to layer li (observer callback; safe for
+// concurrent use).
+func (p *Protector) markDirty(li int) {
+	p.mu.Lock()
+	p.ensureDirtyLocked()
+	if li >= 0 && li < len(p.dirty) {
+		p.dirty[li] = true
+	}
+	p.mu.Unlock()
+}
+
+// ensureDirtyLocked sizes the dirty bitmap for protectors built without
+// newProtector (e.g. unsealed or zero-valued ones). Caller holds mu.
+func (p *Protector) ensureDirtyLocked() {
+	if len(p.dirty) != len(p.Model.Layers) {
+		d := make([]bool, len(p.Model.Layers))
+		copy(d, p.dirty)
+		p.dirty = d
+	}
+}
+
+// clearDirty resets the dirty flag of the given layer (negative: all
+// layers). Flags are cleared before the scan reads the weights, so a write
+// landing mid-scan re-marks its layer and is caught by the next ScanDirty.
+func (p *Protector) clearDirty(li int) {
+	p.mu.Lock()
+	p.ensureDirtyLocked()
+	if li < 0 {
+		for i := range p.dirty {
+			p.dirty[i] = false
+		}
+	} else if li < len(p.dirty) {
+		p.dirty[li] = false
+	}
+	p.mu.Unlock()
+}
+
+// takeDirty snapshots and clears the dirty layer set, returning the layer
+// indices in ascending order.
+func (p *Protector) takeDirty() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureDirtyLocked()
+	var out []int
+	for li, d := range p.dirty {
+		if d {
+			out = append(out, li)
+			p.dirty[li] = false
 		}
 	}
-	return flagged
+	return out
+}
+
+// Scan recomputes every layer's signatures over the current (possibly
+// corrupted) quantized weights and returns the mismatching groups, sorted
+// by layer then group. The work is sharded across the worker pool; the
+// flagged list is byte-identical to a sequential scan for every worker
+// count. This is the operation embedded in the inference weight-fetch path.
+func (p *Protector) Scan() []GroupID {
+	p.clearDirty(-1)
+	return p.scanShards(p.shards())
 }
 
 // ScanLayer scans a single layer (used by the run-time embedded detection,
-// which checks each layer as its weights are fetched).
+// which checks each layer as its weights are fetched). Shards of the layer
+// fan out over the worker pool.
 func (p *Protector) ScanLayer(li int) []GroupID {
-	fresh := p.Schemes[li].Signatures(p.Model.Layers[li].Q)
-	var flagged []GroupID
-	for _, j := range Compare(p.Golden[li], fresh) {
-		flagged = append(flagged, GroupID{Layer: li, Group: j})
+	p.clearDirty(li)
+	return p.scanShards(p.layerShards(li))
+}
+
+// ScanDirty is the incremental scan: it checks only layers written through
+// the quant.Model API since they were last scanned (by Scan, ScanLayer, or
+// a previous ScanDirty) and skips clean layers entirely. On a clean model
+// it touches no weights and returns nil. Corruption that bypasses the
+// model API (direct writes to Layer.Q) is invisible to dirty tracking and
+// needs a full Scan. Flagged groups are sorted by layer then group, and
+// for the dirty layers the result equals what Scan would report.
+func (p *Protector) ScanDirty() []GroupID {
+	layers := p.takeDirty()
+	if len(layers) == 0 {
+		return nil
 	}
-	return flagged
+	var sh []shard
+	for _, li := range layers {
+		sh = append(sh, p.layerShards(li)...)
+	}
+	return p.scanShards(sh)
 }
 
 // Recover zeroes every weight of every flagged group (de-interleaving back
@@ -115,10 +263,32 @@ func (p *Protector) Recover(flagged []GroupID) int {
 }
 
 // DetectAndRecover is the full run-time reaction: scan, zero out flagged
-// groups, and report what happened.
+// groups, and report what happened. Scanning and recovery are pipelined —
+// while layer i's flagged groups are being zeroed, the worker pool is
+// already scanning layer i+1 (recovery only touches already-scanned
+// layers, so the stages never share data). The flagged list and zeroed
+// count are identical to a sequential scan-then-recover.
 func (p *Protector) DetectAndRecover() (flagged []GroupID, zeroed int) {
-	flagged = p.Scan()
-	zeroed = p.Recover(flagged)
+	p.clearDirty(-1)
+	ch := make(chan []GroupID, 1)
+	go func() {
+		for li := range p.Model.Layers {
+			ch <- p.scanShards(p.layerShards(li))
+		}
+		close(ch)
+	}()
+	done := false
+	defer func() {
+		if !done { // unblock the scanner if Recover panicked mid-pipeline
+			for range ch {
+			}
+		}
+	}()
+	for f := range ch {
+		flagged = append(flagged, f...)
+		zeroed += p.Recover(f)
+	}
+	done = true
 	return flagged, zeroed
 }
 

@@ -7,22 +7,47 @@ package core
 // the corruption, so the caller must hold the same trust as the original
 // Protect invocation.
 func (p *Protector) RefreshLayer(li int) {
+	// Clear before reading the weights: a write landing mid-refresh
+	// re-marks the layer and the next ScanDirty re-checks it.
+	p.clearDirty(li)
 	p.Golden[li] = p.Schemes[li].Signatures(p.Model.Layers[li].Q)
 }
 
 // RefreshAll recomputes every layer's golden signatures (a full re-protect
-// without re-drawing the secrets).
+// without re-drawing the secrets), sharded across the worker pool.
 func (p *Protector) RefreshAll() {
-	for li := range p.Model.Layers {
-		p.RefreshLayer(li)
+	p.clearDirty(-1)
+	p.Golden = make([][]uint8, len(p.Model.Layers))
+	for li, l := range p.Model.Layers {
+		p.Golden[li] = make([]uint8, p.Schemes[li].NumGroups(len(l.Q)))
 	}
+	sh := p.shards()
+	runTasks(p.poolSize(), len(sh), func(k int) {
+		s := sh[k]
+		copy(p.Golden[s.layer][s.lo:s.hi],
+			p.Schemes[s.layer].SignaturesRange(p.Model.Layers[s.layer].Q, s.lo, s.hi))
+	})
 }
 
 // Rekey draws fresh per-layer keys and offsets from the scheme seeds in
 // cfg and recomputes all golden signatures. Rotating the secrets bounds
-// how long a side-channel leak of one key is useful to an attacker.
+// how long a side-channel leak of one key is useful to an attacker. The
+// protector keeps its existing model observation (no new observer is
+// registered) and its tuned Workers/ShardGroups unless cfg sets them.
 func (p *Protector) Rekey(cfg Config) {
-	fresh := Protect(p.Model, cfg)
+	p.mu.Lock()
+	if cfg.Workers == 0 {
+		cfg.Workers = p.workers
+	}
+	if cfg.ShardGroups == 0 {
+		cfg.ShardGroups = p.shardGroups
+	}
+	p.mu.Unlock()
+	fresh := newProtector(p.Model, cfg)
 	p.Schemes = fresh.Schemes
 	p.Golden = fresh.Golden
+	p.mu.Lock()
+	p.workers = fresh.workers
+	p.shardGroups = fresh.shardGroups
+	p.mu.Unlock()
 }

@@ -67,7 +67,10 @@ func UnsealProtector(m *quant.Model, store SecureStore) (*Protector, error) {
 				i, len(golden[i]), want)
 		}
 	}
-	return &Protector{Model: m, Schemes: schemes, Golden: golden}, nil
+	p := &Protector{Model: m, Schemes: schemes, Golden: golden,
+		dirty: make([]bool, len(m.Layers))}
+	p.unobserve = m.Observe(p.markDirty)
+	return p, nil
 }
 
 // packBits packs values of width bits (1..8) densely, LSB-first.

@@ -1,0 +1,132 @@
+package core
+
+// DefaultShardGroups is the default number of checksum groups per parallel
+// scan shard. At the paper's ResNet-18 deployment point (G=512) one shard
+// covers ~half a megabyte of weights — big enough to amortize scheduling,
+// small enough that a large layer still splits across the pool.
+const DefaultShardGroups = 1024
+
+// shard is one unit of parallel scan work: the group range [lo, hi) of one
+// layer. Shards are totally ordered by (layer, lo); concatenating per-shard
+// results in that order yields exactly the sequential scan order (layer
+// ascending, group ascending).
+type shard struct {
+	layer, lo, hi int
+}
+
+// layerShards splits one layer's group range into chunks of at most
+// shardGroups groups, in ascending group order.
+func (p *Protector) layerShards(li int) []shard {
+	sg := p.shardGroups
+	if sg <= 0 {
+		sg = DefaultShardGroups
+	}
+	n := p.Schemes[li].NumGroups(len(p.Model.Layers[li].Q))
+	out := make([]shard, 0, (n+sg-1)/sg)
+	for lo := 0; lo < n; lo += sg {
+		hi := lo + sg
+		if hi > n {
+			hi = n
+		}
+		out = append(out, shard{layer: li, lo: lo, hi: hi})
+	}
+	return out
+}
+
+// shards splits every layer of the protected model, ordered by (layer, lo).
+func (p *Protector) shards() []shard {
+	var out []shard
+	for li := range p.Model.Layers {
+		out = append(out, p.layerShards(li)...)
+	}
+	return out
+}
+
+// SignaturesRange computes the signatures of groups [lo, hi) of a layer —
+// the per-shard unit of the parallel engine. It returns exactly
+// Signatures(q)[lo:hi]: the checksum of each group accumulates the same
+// terms in the same row order, so the parallel scan is byte-identical to
+// the sequential one. The interleaved path walks row segments (contiguous
+// in memory) rather than group member lists, keeping the per-shard access
+// pattern as cache-friendly as the full-layer single pass.
+func (s Scheme) SignaturesRange(q []int8, lo, hi int) []uint8 {
+	l := len(q)
+	s.Validate(l)
+	n := s.NumGroups(l)
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 || lo >= hi {
+		return nil
+	}
+	sums := make([]int32, hi-lo)
+	if !s.Interleave {
+		for j := lo; j < hi; j++ {
+			base := j * s.G
+			end := base + s.G
+			if end > l {
+				end = l
+			}
+			var m int32
+			for i := base; i < end; i++ {
+				m += s.maskSign(i-base) * int32(q[i])
+			}
+			sums[j-lo] = m
+		}
+	} else {
+		rows := (l + n - 1) / n
+		for r := 0; r < rows; r++ {
+			sign := s.maskSign(r)
+			base := r * n
+			// Column of group lo in row r; consecutive groups occupy
+			// consecutive columns (mod n), so the inner loop is sequential.
+			c := ((lo-s.Offset*r)%n + n) % n
+			for j := lo; j < hi; j++ {
+				if i := base + c; i < l {
+					sums[j-lo] += sign * int32(q[i])
+				}
+				c++
+				if c == n {
+					c = 0
+				}
+			}
+		}
+	}
+	out := make([]uint8, hi-lo)
+	for k, m := range sums {
+		out[k] = s.Binarize(m)
+	}
+	return out
+}
+
+// scanShard recomputes one shard's signatures and compares them against the
+// golden slice, returning flagged groups in ascending group order.
+func (p *Protector) scanShard(sh shard) []GroupID {
+	l := p.Model.Layers[sh.layer]
+	fresh := p.Schemes[sh.layer].SignaturesRange(l.Q, sh.lo, sh.hi)
+	golden := p.Golden[sh.layer][sh.lo:sh.hi]
+	var out []GroupID
+	for k := range fresh {
+		if fresh[k] != golden[k] {
+			out = append(out, GroupID{Layer: sh.layer, Group: sh.lo + k})
+		}
+	}
+	return out
+}
+
+// scanShards runs the shard list on the worker pool and merges the
+// per-shard results in shard order. Because shards arrive sorted by
+// (layer, lo) and each shard reports ascending groups, the merged list is
+// deterministically sorted by layer then group — identical to a
+// single-goroutine scan regardless of worker count or scheduling.
+func (p *Protector) scanShards(sh []shard) []GroupID {
+	results := make([][]GroupID, len(sh))
+	runTasks(p.poolSize(), len(sh), func(k int) {
+		results[k] = p.scanShard(sh[k])
+	})
+	var flagged []GroupID
+	for _, r := range results {
+		flagged = append(flagged, r...)
+	}
+	return flagged
+}

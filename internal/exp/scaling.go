@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/model"
+)
+
+// ScanScalingResult is the worker-count sweep of the parallel scan engine:
+// wall-clock scan time over a full ImageNet ResNet-18-scale weight image at
+// each pool size, with the flagged output checked identical across sweeps.
+type ScanScalingResult struct {
+	// Weights is the scanned weight volume (bytes, one per int8 weight).
+	Weights int
+	// Flagged is the number of corrupted groups every sweep must report.
+	Flagged int
+	// Workers lists the swept pool sizes.
+	Workers []int
+	// Times holds the per-sweep scan wall time, aligned with Workers.
+	Times []time.Duration
+}
+
+// ScanWorkerSweep returns the worker counts the scaling experiment and the
+// BenchmarkScan sub-benchmarks sweep: 1, 2, 4, and GOMAXPROCS, deduplicated
+// and ascending.
+func ScanWorkerSweep() []int {
+	sweep := []int{1, 2, 4}
+	n := runtime.GOMAXPROCS(0)
+	for _, w := range sweep {
+		if w == n {
+			return sweep
+		}
+	}
+	out := make([]int, 0, len(sweep)+1)
+	for _, w := range sweep {
+		if w < n {
+			out = append(out, w)
+		}
+	}
+	out = append(out, n)
+	for _, w := range sweep {
+		if w > n {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ScanScaling measures Protector.Scan at each pool size over a synthetic
+// ResNet-18 ImageNet weight image (11.7M weights, the paper's G=512
+// deployment point) corrupted with scattered MSB flips. Every sweep must
+// flag the identical group list — the determinism contract of the sharded
+// engine — or the experiment panics.
+func ScanScaling() ScanScalingResult {
+	m := model.SyntheticQuant(model.ResNet18ImageNetShapes())
+	cfg := core.DefaultConfig(512)
+	cfg.Workers = 1
+	p := core.Protect(m, cfg)
+
+	model.ScatterMSBFlips(m, 64)
+
+	res := ScanScalingResult{Weights: m.TotalWeights()}
+	var want []core.GroupID
+	for _, w := range ScanWorkerSweep() {
+		p.SetWorkers(w)
+		t0 := time.Now()
+		flagged := p.Scan()
+		dt := time.Since(t0)
+		if want == nil {
+			want = flagged
+			res.Flagged = len(flagged)
+		} else if !sameGroups(want, flagged) {
+			panic(fmt.Sprintf("exp: workers=%d flagged %d groups, workers=%d flagged %d",
+				w, len(flagged), res.Workers[0], len(want)))
+		}
+		res.Workers = append(res.Workers, w)
+		res.Times = append(res.Times, dt)
+	}
+	return res
+}
+
+func sameGroups(a, b []core.GroupID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the sweep with throughput and speedup over workers=1.
+func (r ScanScalingResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallel scan scaling — ResNet-18 ImageNet image (%.1f MB, G=512, %d corrupted groups)\n",
+		float64(r.Weights)/(1<<20), r.Flagged)
+	sb.WriteString(row("workers", "scan time", "MB/s", "speedup") + "\n")
+	base := r.Times[0].Seconds()
+	for i, w := range r.Workers {
+		sec := r.Times[i].Seconds()
+		sb.WriteString(row(
+			fmt.Sprintf("%d", w),
+			r.Times[i].Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(r.Weights)/(1<<20)/sec),
+			fmt.Sprintf("%.2fx", base/sec),
+		) + "\n")
+	}
+	return sb.String()
+}

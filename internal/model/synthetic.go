@@ -1,0 +1,37 @@
+package model
+
+import "radar/internal/quant"
+
+// SyntheticQuant builds a quantized weight image with the given layer
+// shapes and deterministic pseudo-random int8 weights, without a backing
+// float network. It exists so scan/protect benchmarks and the worker-sweep
+// experiment can run at the paper's full ImageNet ResNet-18 scale (11.7 MB
+// of weights) without training anything. The layers have no Param, so only
+// the pure DRAM-image paths (Protect, Scan, ScanDirty) may be used —
+// anything that resynchronizes float weights (FlipBit, Recover) would
+// dereference the nil Param. Corrupt it by writing Layer.Q directly.
+func SyntheticQuant(tab *ShapeTable) *quant.Model {
+	m := &quant.Model{}
+	x := uint32(0x9E3779B9)
+	for _, ls := range tab.Layers {
+		q := make([]int8, ls.Weights)
+		for i := range q {
+			x = x*1664525 + 1013904223 // LCG: fixed stream, fully reproducible
+			q[i] = int8(x >> 24)
+		}
+		m.Layers = append(m.Layers, &quant.Layer{Name: ls.Name, Q: q, Scale: 1})
+	}
+	return m
+}
+
+// ScatterMSBFlips corrupts k MSBs at fixed, well-scattered positions
+// across the model's layers by writing Layer.Q directly (SyntheticQuant
+// images have no float side to sync). BenchmarkScan and the scanscale
+// experiment share this pattern so they measure the same corruption.
+func ScatterMSBFlips(m *quant.Model, k int) {
+	for f := 0; f < k; f++ {
+		l := m.Layers[(f*7)%len(m.Layers)]
+		i := (f * 1_000_003) % len(l.Q)
+		l.Q[i] = quant.FlipBit(l.Q[i], quant.MSB)
+	}
+}

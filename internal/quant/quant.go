@@ -45,6 +45,48 @@ type Model struct {
 	Net *nn.Sequential
 	// Layers lists the quantized weight tensors in network order.
 	Layers []*Layer
+	// observers are notified with a layer index whenever that layer's
+	// quantized storage is mutated through the Model API; see Observe.
+	observers []func(layer int)
+}
+
+// Observe registers fn to be called with the layer index each time that
+// layer's quantized weights change through the Model API (FlipBit,
+// Restore). RADAR's incremental scan uses this to track dirty layers.
+// Direct writes to Layer.Q bypass notification. Observers run on the
+// mutating goroutine and must be cheap and safe for concurrent use if the
+// model is mutated from several goroutines. The returned cancel function
+// unregisters fn; short-lived observers (e.g. a protector being replaced)
+// must call it, or the model keeps them reachable and pays their callback
+// on every write forever.
+func (m *Model) Observe(fn func(layer int)) (cancel func()) {
+	i := len(m.observers)
+	for j, o := range m.observers {
+		if o == nil { // reuse a cancelled slot so the list stays bounded
+			i = j
+			break
+		}
+	}
+	if i == len(m.observers) {
+		m.observers = append(m.observers, nil)
+	}
+	m.observers[i] = fn
+	cancelled := false
+	return func() {
+		if !cancelled { // idempotent: the slot may have been reused
+			cancelled = true
+			m.observers[i] = nil
+		}
+	}
+}
+
+// notifyWrite fans a mutation of layer li out to the observers.
+func (m *Model) notifyWrite(li int) {
+	for _, fn := range m.observers {
+		if fn != nil {
+			fn(li)
+		}
+	}
 }
 
 // Quantize converts every conv/linear weight of net to int8 symmetric
@@ -136,6 +178,7 @@ func (m *Model) Restore(snap [][]int8) {
 	}
 	for i, l := range m.Layers {
 		copy(l.Q, snap[i])
+		m.notifyWrite(i)
 	}
 	m.SyncAll()
 }
@@ -163,6 +206,7 @@ func (m *Model) FlipBit(a BitAddress) (old, new int8) {
 	old = l.Q[a.WeightIndex]
 	l.Q[a.WeightIndex] = FlipBit(old, a.Bit)
 	l.SyncIndex(a.WeightIndex)
+	m.notifyWrite(a.LayerIndex)
 	return old, l.Q[a.WeightIndex]
 }
 

@@ -9,6 +9,15 @@
 //	...                                           // adversary flips bits in qm
 //	flagged, zeroed := p.DetectAndRecover()       // scan, zero corrupted groups
 //
+// Scanning is parallel: Protect, Scan, ScanLayer, and RefreshAll shard each
+// layer's group range across a bounded worker pool sized by Config.Workers
+// (default: one worker per CPU), and DetectAndRecover overlaps scanning the
+// next layer with recovering the previous one. Flagged groups come back
+// sorted by layer then group and are byte-identical for every worker count.
+// Protector.ScanDirty is the incremental variant: the protector observes
+// writes made through the QuantModel API and re-scans only the layers
+// touched since their last scan, skipping clean layers entirely.
+//
 // The heavy machinery lives in internal packages: internal/core (the
 // scheme), internal/quant (quantization and bit manipulation), internal/nn
 // and internal/tensor (the inference/training stack), internal/attack
@@ -46,9 +55,20 @@ type QuantModel = quant.Model
 // BitAddress identifies one bit of one quantized weight.
 type BitAddress = quant.BitAddress
 
+// SecureStore is the serialized secure-storage image of a protector; see
+// core.SecureStore.
+type SecureStore = core.SecureStore
+
 // DefaultConfig returns the paper's standard configuration for a group
-// size: interleaving enabled, 2-bit signatures.
+// size: interleaving enabled, 2-bit signatures. Set Config.Workers to
+// bound the scan engine's worker pool (zero means one worker per CPU).
 func DefaultConfig(g int) Config { return core.DefaultConfig(g) }
+
+// UnsealProtector reconstructs a protector for m from sealed secure-store
+// state (the inverse of Protector.Seal).
+func UnsealProtector(m *QuantModel, store SecureStore) (*Protector, error) {
+	return core.UnsealProtector(m, store)
+}
 
 // Protect computes golden signatures for every quantized layer of m.
 func Protect(m *QuantModel, cfg Config) *Protector { return core.Protect(m, cfg) }
