@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fmt
+.PHONY: build test race bench bench-smoke serve-smoke lint fmt
 
 build:
 	$(GO) build ./...
@@ -10,18 +10,25 @@ build:
 test:
 	$(GO) test -timeout 30m ./...
 
-# Race-detect the parallel scan engine (the only concurrent subsystem).
+# Race-detect the concurrent subsystems: the parallel scan engine and the
+# serving stack (batching + scrubber + verified fetch under live flips).
 race:
-	$(GO) test -race -timeout 20m ./internal/core/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/...
 
 # Full benchmark sweep (slow; trains zoo models on first run).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-# Fast guard that the scan benchmarks still compile and run (1 iteration;
-# checkpoints come from testdata/models, so no training happens).
+# Fast guard that the scan + serve benchmarks still compile and run (1
+# iteration; checkpoints come from testdata/models, so no training happens).
 bench-smoke:
-	$(GO) test -bench=Scan -benchtime=1x -run '^$$' .
+	$(GO) test -bench='Scan|Serve' -benchtime=1x -run '^$$' .
+
+# Boot radar-serve on the tiny checkpoint and exercise the HTTP API.
+serve-smoke:
+	$(GO) build -o radar-serve ./cmd/radar-serve
+	./scripts/serve_smoke.sh ./radar-serve
+	rm -f radar-serve
 
 lint:
 	$(GO) vet ./...

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"radar"
 	"radar/internal/attack"
@@ -18,7 +19,10 @@ import (
 	"radar/internal/exp"
 	"radar/internal/memsim"
 	"radar/internal/model"
+	"radar/internal/qinfer"
 	"radar/internal/quant"
+	"radar/internal/serve"
+	"radar/internal/tensor"
 )
 
 var (
@@ -277,6 +281,62 @@ func BenchmarkCRC13Scan(b *testing.B) {
 		for off := 0; off < len(q); off += 512 {
 			ecc.CRC13.ComputeInt8(q[off : off+512])
 		}
+	}
+}
+
+// BenchmarkServe measures the serving subsystem's request throughput on
+// the tiny zoo model with the background scrubber and the verified
+// weight-fetch path toggled — the software cost of continuous protection
+// on a live server (requests arrive from GOMAXPROCS parallel clients and
+// are coalesced by the batcher). radar-bench -exp servescale runs the same
+// sweep under an active adversary and emits machine-readable JSON.
+func BenchmarkServe(b *testing.B) {
+	configs := []struct {
+		name          string
+		scrub, verify bool
+	}{
+		{"scrub=off/verify=off", false, false},
+		{"scrub=on/verify=off", true, false},
+		{"scrub=off/verify=on", false, true},
+		{"scrub=on/verify=on", true, true},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			bundle := model.Load(model.TinySpec())
+			calib, _ := bundle.Attack.Batch(0, 64)
+			eng, err := qinfer.Compile(bundle.Net, bundle.QModel, calib)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prot := radar.Protect(bundle.QModel, radar.DefaultConfig(8))
+			cfg := serve.DefaultConfig()
+			cfg.VerifiedFetch = c.verify
+			if c.scrub {
+				cfg.ScrubInterval = 2 * time.Millisecond
+			} else {
+				cfg.ScrubInterval = 0
+			}
+			srv := serve.New(eng, prot, cfg)
+			srv.Start()
+			defer srv.Stop()
+			x, _ := bundle.Test.Batch(0, 1)
+			in := tensor.New(x.Shape[1:]...)
+			copy(in.Data, x.Data)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := srv.Infer(in); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			snap := srv.Snapshot()
+			if snap.AvgBatch > 0 {
+				b.ReportMetric(snap.AvgBatch, "reqs/batch")
+			}
+		})
 	}
 }
 

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale] [-scale quick|full]
+//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale] [-scale quick|full] [-json path]
 //
 // The scanscale experiment sweeps the parallel scan engine's worker pool
 // (1/2/4/GOMAXPROCS) over a full-scale ResNet-18 weight image and reports
-// per-sweep throughput and speedup.
+// per-sweep throughput and speedup. The servescale experiment measures the
+// protected inference server's requests/sec under a live bit-flip
+// adversary with the scrubber and verified weight-fetch toggled, and
+// additionally writes a machine-readable JSON artifact to the -json path
+// (default BENCH_servescale.json).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 func main() {
 	which := flag.String("exp", "all", "experiment id (see DESIGN.md per-experiment index)")
 	scale := flag.String("scale", "full", "statistics scale: quick or full")
+	jsonPath := flag.String("json", "BENCH_servescale.json", "output path for machine-readable results of JSON-capable experiments (servescale)")
 	flag.Parse()
 
 	var opt exp.Options
@@ -71,6 +76,15 @@ func main() {
 		{"engine", func() string { return exp.EngineParity(ctx).Render() }},
 		{"software", func() string { return exp.SoftwareOverhead().Render() }},
 		{"scanscale", func() string { return exp.ScanScaling().Render() }},
+		{"servescale", func() string {
+			r := exp.ServeScaling()
+			if err := r.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			} else {
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return r.Render()
+		}},
 	}
 
 	ran := 0

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"radar/internal/quant"
 )
@@ -68,6 +69,15 @@ type Protector struct {
 	// unobserve detaches this protector's write observer from the model;
 	// see Detach.
 	unobserve func()
+
+	// guard, when set via Coordinate, serializes scan reads against
+	// recovery/attack writes per layer; nil means uncoordinated (all guard
+	// methods no-op on nil).
+	guard *LayerGuard
+	// stats are the activity counters exported by Stats.
+	stats struct {
+		scans, groupsFlagged, groupsRecovered, weightsZeroed atomic.Int64
+	}
 }
 
 // Protect computes golden signatures for every quantized layer of m under
@@ -210,6 +220,7 @@ func (p *Protector) takeDirty() []int {
 // count. This is the operation embedded in the inference weight-fetch path.
 func (p *Protector) Scan() []GroupID {
 	p.clearDirty(-1)
+	p.stats.scans.Add(1)
 	return p.scanShards(p.shards())
 }
 
@@ -218,6 +229,7 @@ func (p *Protector) Scan() []GroupID {
 // fan out over the worker pool.
 func (p *Protector) ScanLayer(li int) []GroupID {
 	p.clearDirty(li)
+	p.stats.scans.Add(1)
 	return p.scanShards(p.layerShards(li))
 }
 
@@ -229,6 +241,7 @@ func (p *Protector) ScanLayer(li int) []GroupID {
 // needs a full Scan. Flagged groups are sorted by layer then group, and
 // for the dirty layers the result equals what Scan would report.
 func (p *Protector) ScanDirty() []GroupID {
+	p.stats.scans.Add(1)
 	layers := p.takeDirty()
 	if len(layers) == 0 {
 		return nil
@@ -244,21 +257,50 @@ func (p *Protector) ScanDirty() []GroupID {
 // to original positions), resynchronizes the float weights, and refreshes
 // the golden signatures of the zeroed groups so subsequent scans accept the
 // recovered state. It returns the number of weights zeroed.
+//
+// When the protector is coordinated (see Coordinate), each layer's zeroing
+// happens under that layer's write lock, so recovery is safe to run while
+// other goroutines read the same model for inference. Consecutive flagged
+// groups of the same layer share one lock acquisition — the flagged lists
+// produced by scans are sorted by layer, so each layer is locked once.
 func (p *Protector) Recover(flagged []GroupID) int {
 	zeroed := 0
-	for _, g := range flagged {
-		l := p.Model.Layers[g.Layer]
-		s := p.Schemes[g.Layer]
-		for _, i := range s.Members(g.Group, len(l.Q)) {
-			if l.Q[i] != 0 {
-				l.Q[i] = 0
-				zeroed++
-			}
-			l.SyncIndex(i)
+	for lo := 0; lo < len(flagged); {
+		hi := lo
+		for hi < len(flagged) && flagged[hi].Layer == flagged[lo].Layer {
+			hi++
 		}
-		// A zeroed group has checksum 0 → signature 0.
-		p.Golden[g.Layer][g.Group] = s.Binarize(0)
+		li := flagged[lo].Layer
+		p.guard.LockLayer(li)
+		for _, g := range flagged[lo:hi] {
+			zeroed += p.recoverGroupLocked(g)
+		}
+		p.guard.UnlockLayer(li)
+		lo = hi
 	}
+	if len(flagged) > 0 {
+		p.stats.groupsRecovered.Add(int64(len(flagged)))
+		p.stats.weightsZeroed.Add(int64(zeroed))
+	}
+	return zeroed
+}
+
+// recoverGroupLocked zeroes one flagged group and refreshes its golden
+// signature. The caller holds the layer's write lock (or is otherwise the
+// only goroutine touching the model).
+func (p *Protector) recoverGroupLocked(g GroupID) int {
+	zeroed := 0
+	l := p.Model.Layers[g.Layer]
+	s := p.Schemes[g.Layer]
+	for _, i := range s.Members(g.Group, len(l.Q)) {
+		if l.Q[i] != 0 {
+			l.Q[i] = 0
+			zeroed++
+		}
+		l.SyncIndex(i)
+	}
+	// A zeroed group has checksum 0 → signature 0.
+	p.Golden[g.Layer][g.Group] = s.Binarize(0)
 	return zeroed
 }
 
@@ -270,6 +312,7 @@ func (p *Protector) Recover(flagged []GroupID) int {
 // count are identical to a sequential scan-then-recover.
 func (p *Protector) DetectAndRecover() (flagged []GroupID, zeroed int) {
 	p.clearDirty(-1)
+	p.stats.scans.Add(1)
 	ch := make(chan []GroupID, 1)
 	go func() {
 		for li := range p.Model.Layers {

@@ -118,15 +118,35 @@ func (p *Protector) scanShard(sh shard) []GroupID {
 // per-shard results in shard order. Because shards arrive sorted by
 // (layer, lo) and each shard reports ascending groups, the merged list is
 // deterministically sorted by layer then group — identical to a
-// single-goroutine scan regardless of worker count or scheduling.
+// single-goroutine scan regardless of worker count or scheduling. On a
+// coordinated protector each shard reads its layer under the layer's read
+// lock, so scans may overlap inference fetches but never a recovery write.
 func (p *Protector) scanShards(sh []shard) []GroupID {
+	return p.runShards(sh, true)
+}
+
+// scanShardsLocked is the variant for callers that already hold the write
+// lock of every scanned layer (VerifyAndRecoverLayer): taking the read
+// lock again would self-deadlock, and exclusion is already guaranteed.
+func (p *Protector) scanShardsLocked(sh []shard) []GroupID {
+	return p.runShards(sh, false)
+}
+
+func (p *Protector) runShards(sh []shard, lock bool) []GroupID {
 	results := make([][]GroupID, len(sh))
 	runTasks(p.poolSize(), len(sh), func(k int) {
+		if lock {
+			p.guard.RLockLayer(sh[k].layer)
+			defer p.guard.RUnlockLayer(sh[k].layer)
+		}
 		results[k] = p.scanShard(sh[k])
 	})
 	var flagged []GroupID
 	for _, r := range results {
 		flagged = append(flagged, r...)
+	}
+	if len(flagged) > 0 {
+		p.stats.groupsFlagged.Add(int64(len(flagged)))
 	}
 	return flagged
 }

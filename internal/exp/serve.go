@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"radar/internal/attack"
+	"radar/internal/core"
+	"radar/internal/model"
+	"radar/internal/qinfer"
+	"radar/internal/quant"
+	"radar/internal/rowhammer"
+	"radar/internal/serve"
+	"radar/internal/tensor"
+)
+
+// ServeRun is one serving configuration's measured throughput under a live
+// bit-flip adversary.
+type ServeRun struct {
+	// Name labels the configuration.
+	Name string `json:"name"`
+	// Scrub / Verify record which protections were active.
+	Scrub  bool `json:"scrub"`
+	Verify bool `json:"verify"`
+	// Requests answered over Seconds of wall time → RPS.
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"rps"`
+	// P50Ms / P99Ms are end-to-end request latencies.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// AvgBatch is the mean coalesced batch size.
+	AvgBatch float64 `json:"avg_batch"`
+	// GroupsFlagged / WeightsZeroed count what the protection caught
+	// during the run (0 for the unprotected baseline).
+	GroupsFlagged int64 `json:"groups_flagged"`
+	WeightsZeroed int64 `json:"weights_zeroed"`
+	// ResidualFlagged counts groups still corrupt after traffic stopped
+	// (found by a final quiesced sweep; expected 0 when any protection is
+	// on, and > 0 for the unprotected baseline under attack).
+	ResidualFlagged int `json:"residual_flagged"`
+}
+
+// ServeScalingResult is the serving benchmark: requests/sec of the
+// protected inference server with the scrubber and the verified
+// weight-fetch path toggled, while a rowhammer adversary flips MSBs
+// mid-traffic. It is the machine-readable seed of the BENCH_*.json
+// trajectory.
+type ServeScalingResult struct {
+	// Model names the served zoo model.
+	Model string `json:"model"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Clients is the number of concurrent request streams.
+	Clients int `json:"clients"`
+	// RequestsPerRun is the traffic volume each configuration serves.
+	RequestsPerRun int `json:"requests_per_run"`
+	// FlipsPerRound / AttackRounds describe the adversary.
+	FlipsPerRound int `json:"flips_per_round"`
+	AttackRounds  int `json:"attack_rounds"`
+	// Runs holds one entry per configuration.
+	Runs []ServeRun `json:"runs"`
+}
+
+// ServeScaling measures the serving subsystem end to end on the tiny zoo
+// model: four configurations (unprotected, scrubber-only, verified-fetch-
+// only, both) each serve the same traffic volume from concurrent clients
+// while an adversary mounts MSB flips every few requests. Off-
+// configurations measure the protection's overhead honestly: the attack
+// still runs, the defense just doesn't.
+func ServeScaling() ServeScalingResult {
+	const (
+		clients       = 4
+		perClient     = 60
+		flipsPerRound = 4
+		attackEvery   = 40 // requests between attack rounds
+	)
+	res := ServeScalingResult{
+		Model:          "tiny",
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Clients:        clients,
+		RequestsPerRun: clients * perClient,
+		FlipsPerRound:  flipsPerRound,
+	}
+
+	configs := []struct {
+		name          string
+		scrub, verify bool
+	}{
+		{"baseline", false, false},
+		{"scrub", true, false},
+		{"verify", false, true},
+		{"scrub+verify", true, true},
+	}
+	for _, c := range configs {
+		res.Runs = append(res.Runs, serveOneRun(c.name, c.scrub, c.verify,
+			clients, perClient, flipsPerRound, attackEvery, &res.AttackRounds))
+	}
+	return res
+}
+
+func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRound, attackEvery int, rounds *int) ServeRun {
+	b := model.Load(model.TinySpec())
+	calib, _ := b.Attack.Batch(0, 64)
+	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
+	if err != nil {
+		panic(err)
+	}
+	prot := core.Protect(b.QModel, core.DefaultConfig(8))
+
+	cfg := serve.DefaultConfig()
+	cfg.VerifiedFetch = verify
+	if scrub {
+		cfg.ScrubInterval = 2 * time.Millisecond
+	} else {
+		cfg.ScrubInterval = 0
+	}
+	srv := serve.New(eng, prot, cfg)
+	srv.Start()
+
+	// Adversary state: a stream of MSB flips mounted through simulated
+	// DRAM every attackEvery answered requests.
+	atk := model.Load(model.TinySpec())
+	dram := rowhammer.New(b.QModel, rowhammer.DefaultGeometry(), 17)
+	profiles := attack.RandomMSB(atk.QModel, flipsPerRound*8, 41).Addresses()
+
+	x, _ := b.Test.Batch(0, 32)
+	vol := tensor.Volume(x.Shape[1:])
+	input := func(i int) *tensor.Tensor {
+		t := tensor.New(x.Shape[1:]...)
+		copy(t.Data, x.Data[(i%32)*vol:(i%32+1)*vol])
+		return t
+	}
+
+	var served int64
+	var mu sync.Mutex
+	attacks := 0
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := srv.Infer(input(c*perClient + i)); err != nil {
+					return
+				}
+				mu.Lock()
+				served++
+				if served%int64(attackEvery) == 0 {
+					lo := (attacks * flipsPerRound) % len(profiles)
+					batch := profiles[lo : lo+flipsPerRound]
+					attacks++
+					mu.Unlock()
+					srv.Inject(func(m *quant.Model) { dram.MountProfile(batch); dram.Refresh() })
+					continue
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	dt := time.Since(t0)
+	snap := srv.Snapshot()
+	srv.Stop()
+	*rounds = attacks
+
+	// Quiesced sweep: how much corruption survived the run? Stats are
+	// snapshotted first so the sweep's own finds don't inflate them.
+	st := prot.Stats()
+	residual, _ := prot.DetectAndRecover()
+	return ServeRun{
+		Name:            name,
+		Scrub:           scrub,
+		Verify:          verify,
+		Requests:        int(snap.Requests),
+		Seconds:         dt.Seconds(),
+		RPS:             float64(snap.Requests) / dt.Seconds(),
+		P50Ms:           snap.P50Ms,
+		P99Ms:           snap.P99Ms,
+		AvgBatch:        snap.AvgBatch,
+		GroupsFlagged:   st.GroupsFlagged,
+		WeightsZeroed:   st.WeightsZeroed,
+		ResidualFlagged: len(residual),
+	}
+}
+
+// Render prints the sweep in the repo's table layout.
+func (r ServeScalingResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serving under attack — %s model, %d clients × %d requests, %d MSB flips per attack round (GOMAXPROCS=%d)\n",
+		r.Model, r.Clients, r.RequestsPerRun/r.Clients, r.FlipsPerRound, r.GOMAXPROCS)
+	sb.WriteString(row("config", "req/s", "p50", "p99", "avg batch", "flagged", "residual") + "\n")
+	for _, run := range r.Runs {
+		sb.WriteString(row(
+			run.Name,
+			fmt.Sprintf("%.0f", run.RPS),
+			fmt.Sprintf("%.1fms", run.P50Ms),
+			fmt.Sprintf("%.1fms", run.P99Ms),
+			fmt.Sprintf("%.1f", run.AvgBatch),
+			fmt.Sprintf("%d", run.GroupsFlagged),
+			fmt.Sprintf("%d", run.ResidualFlagged),
+		) + "\n")
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the result as indented JSON — the machine-readable
+// BENCH artifact consumed by the benchmark trajectory.
+func (r ServeScalingResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -6,10 +6,11 @@ import "radar/internal/quant"
 // shapes and deterministic pseudo-random int8 weights, without a backing
 // float network. It exists so scan/protect benchmarks and the worker-sweep
 // experiment can run at the paper's full ImageNet ResNet-18 scale (11.7 MB
-// of weights) without training anything. The layers have no Param, so only
-// the pure DRAM-image paths (Protect, Scan, ScanDirty) may be used —
-// anything that resynchronizes float weights (FlipBit, Recover) would
-// dereference the nil Param. Corrupt it by writing Layer.Q directly.
+// of weights) without training anything. The layers have no Param; the
+// float-sync steps of FlipBit, Restore and Recover are no-ops on such pure
+// DRAM images, so all protection paths work. Corrupting Layer.Q directly
+// also works but bypasses dirty tracking (use MarkLayerDirty, or a full
+// Scan).
 func SyntheticQuant(tab *ShapeTable) *quant.Model {
 	m := &quant.Model{}
 	x := uint32(0x9E3779B9)

@@ -7,7 +7,11 @@
 // RADAR's checksum rides in the gem5 experiments (Tables IV/V); it also
 // demonstrates that the defense needs no floating-point weight copy:
 // detection and recovery act directly on the int8 image this engine
-// consumes.
+// consumes. The embedded-detection point is exposed in software as a
+// per-layer FetchHook (invoked immediately before a conv stage reads its
+// weights) plus a WeightGuard (a per-layer read lock held across the
+// stage), which is how internal/serve keeps verification, recovery and
+// concurrent inference race-free on one shared weight image.
 package qinfer
 
 import (
@@ -86,7 +90,8 @@ func foldBN(bn *nn.BatchNorm2D) foldedBN {
 // optional ReLU, and a fixed output activation scale.
 type qconv struct {
 	name           string
-	w              []int8 // (outC, inC*k*k) row-major
+	w              []int8 // (outC, inC*k*k) row-major, aliasing quant.Layer.Q
+	qLayer         int    // index of the aliased layer in the quant.Model
 	wScale         float32
 	inC, outC      int
 	k, stride, pad int
@@ -96,7 +101,22 @@ type qconv struct {
 }
 
 // forward computes the stage on an int8 input of shape (N, inC, H, W).
-func (c *qconv) forward(x *QTensor) *QTensor {
+// The engine's fetch hook (if any) runs first — before the stage touches
+// a single weight — and the stage then holds the layer's read lock (if a
+// weight guard is attached) for the duration of the convolution.
+func (c *qconv) forward(x *QTensor, e *Engine) *QTensor {
+	if e.hook != nil {
+		e.hook(c.qLayer)
+	}
+	if e.guard != nil {
+		e.guard.RLockLayer(c.qLayer)
+		defer e.guard.RUnlockLayer(c.qLayer)
+	}
+	return c.compute(x)
+}
+
+// compute is the raw int8 convolution, free of any serving coordination.
+func (c *qconv) compute(x *QTensor) *QTensor {
 	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if ch != c.inC {
 		panic("qinfer: channel mismatch in " + c.name)
@@ -156,12 +176,12 @@ type qblock struct {
 	outScale     float32
 }
 
-func (b *qblock) forward(x *QTensor) *QTensor {
-	main := b.conv1.forward(x)
-	main = b.conv2.forward(main)
+func (b *qblock) forward(x *QTensor, e *Engine) *QTensor {
+	main := b.conv1.forward(x, e)
+	main = b.conv2.forward(main, e)
 	side := x
 	if b.down != nil {
-		side = b.down.forward(x)
+		side = b.down.forward(x, e)
 	}
 	// Residual add in the real domain, then ReLU and requantize.
 	out := NewQTensor(b.outScale, main.Shape...)
@@ -186,7 +206,56 @@ type Engine struct {
 	// fc runs in float (a single tiny matmul, standard in int8 deployments).
 	fcW *tensor.Tensor
 	fcB *tensor.Tensor
-	// gapScale is the activation scale feeding global average pooling.
+
+	// hook, when set, observes every quantized layer immediately before its
+	// weights are consumed — the embedded-detection point of the verified
+	// weight-fetch path. See SetFetchHook.
+	hook FetchHook
+	// guard, when set, read-locks each layer for the duration of its conv
+	// stage so recovery writes never race inference reads. See
+	// SetWeightGuard.
+	guard WeightGuard
+}
+
+// FetchHook is called with the quantized-layer index (position in the
+// quant.Model the engine was compiled from) immediately before that
+// layer's conv stage reads its weights. A serving layer uses it to verify
+// the layer's signatures right at the fetch — the paper's embedded
+// detection (Tables IV/V) — and to recover before the corrupt weights are
+// ever multiplied. The hook runs on the inference goroutine and must not
+// hold the layer's read lock when it returns (the engine acquires it next).
+type FetchHook func(layer int)
+
+// WeightGuard read-locks a quantized layer around its conv stage.
+// *core.LayerGuard satisfies it; the indirection keeps qinfer free of a
+// dependency on the protection scheme.
+type WeightGuard interface {
+	RLockLayer(layer int)
+	RUnlockLayer(layer int)
+}
+
+// SetFetchHook installs (or clears, with nil) the per-layer fetch hook.
+// Not safe to call concurrently with Forward — install before serving.
+func (e *Engine) SetFetchHook(h FetchHook) { e.hook = h }
+
+// SetWeightGuard installs (or clears, with nil) the weight read-lock
+// guard. Not safe to call concurrently with Forward — install before
+// serving. The final float classifier holds no quantized weights and is
+// not guarded; it is immutable after Compile (cloned, not aliased).
+func (e *Engine) SetWeightGuard(g WeightGuard) { e.guard = g }
+
+// QuantLayers returns the quantized-layer indices the engine consumes, in
+// execution order (a layer appears once per conv stage that reads it).
+func (e *Engine) QuantLayers() []int {
+	var out []int
+	out = append(out, e.stem.qLayer)
+	for _, b := range e.blocks {
+		out = append(out, b.conv1.qLayer, b.conv2.qLayer)
+		if b.down != nil {
+			out = append(out, b.down.qLayer)
+		}
+	}
+	return out
 }
 
 // Compile converts a trained float ResNet plus its quantized weight image
@@ -199,7 +268,7 @@ func Compile(net *nn.Sequential, qm *quant.Model, calib *tensor.Tensor) (*Engine
 	layers := net.Layers
 	li := 0
 	qIdx := 0
-	nextQ := func(name string) *quant.Layer {
+	nextQ := func(name string) (*quant.Layer, int) {
 		if qIdx >= len(qm.Layers) {
 			panic("qinfer: ran out of quantized layers at " + name)
 		}
@@ -208,14 +277,15 @@ func Compile(net *nn.Sequential, qm *quant.Model, calib *tensor.Tensor) (*Engine
 		if l.Name != name {
 			panic(fmt.Sprintf("qinfer: expected quantized layer %s, got %s", name, l.Name))
 		}
-		return l
+		return l, qIdx - 1
 	}
 
 	makeConv := func(conv *nn.Conv2D, bn *nn.BatchNorm2D, relu bool) *qconv {
-		ql := nextQ(conv.Weight.Name)
+		ql, qi := nextQ(conv.Weight.Name)
 		return &qconv{
 			name:   conv.Name(),
 			w:      ql.Q,
+			qLayer: qi,
 			wScale: ql.Scale,
 			inC:    conv.InC, outC: conv.OutC,
 			k: conv.K, stride: conv.Stride, pad: conv.Pad,
@@ -320,14 +390,14 @@ func (e *Engine) calibrate(net *nn.Sequential, calib *tensor.Tensor) {
 // returns float logits (N, classes).
 func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
 	q := QuantizeActivations(x, e.inScale)
-	q = e.stem.forward(q)
+	q = e.stem.forward(q, e)
 	if e.pool {
 		f := q.Dequantize()
 		pooled, _ := tensor.MaxPool2(f)
 		q = QuantizeActivations(pooled, q.Scale)
 	}
 	for _, b := range e.blocks {
-		q = b.forward(q)
+		q = b.forward(q, e)
 	}
 	// Global average pool in the real domain, then the float classifier.
 	f := q.Dequantize()

@@ -159,6 +159,74 @@ func TestEngineDeterministic(t *testing.T) {
 	}
 }
 
+// TestFetchHookCoversEveryLayer: the fetch hook must fire once per conv
+// stage, before that stage's weights are consumed, in execution order.
+func TestFetchHookCoversEveryLayer(t *testing.T) {
+	b, e := compileTiny(t)
+	var seen []int
+	e.SetFetchHook(func(li int) { seen = append(seen, li) })
+	defer e.SetFetchHook(nil)
+	x, _ := b.Test.Batch(0, 2)
+	e.Forward(x)
+	want := e.QuantLayers()
+	if len(seen) != len(want) {
+		t.Fatalf("hook fired %d times, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook order %v, want %v", seen, want)
+		}
+	}
+	// Every quantized layer except the float classifier is consumed by
+	// some conv stage, so the hook must have covered all of them.
+	covered := map[int]bool{}
+	for _, li := range seen {
+		covered[li] = true
+	}
+	for li := range b.QModel.Layers {
+		if b.QModel.Layers[li].Name == "fc.weight" {
+			continue // final Linear runs in float, never fetched as int8
+		}
+		if !covered[li] {
+			t.Fatalf("layer %d (%s) never verified", li, b.QModel.Layers[li].Name)
+		}
+	}
+}
+
+// TestWeightGuardLocksFetchedLayer: with a guard installed, inference must
+// hold the layer read lock while the conv runs — verified by a guard that
+// records lock/unlock pairing.
+func TestWeightGuardLocksFetchedLayer(t *testing.T) {
+	b, e := compileTiny(t)
+	g := &recordingGuard{held: map[int]int{}}
+	e.SetWeightGuard(g)
+	defer e.SetWeightGuard(nil)
+	e.SetFetchHook(func(li int) {
+		if g.held[li] != 0 {
+			t.Fatalf("hook for layer %d ran under its own read lock", li)
+		}
+	})
+	defer e.SetFetchHook(nil)
+	x, _ := b.Test.Batch(0, 2)
+	e.Forward(x)
+	for li, n := range g.held {
+		if n != 0 {
+			t.Fatalf("layer %d lock count %d after Forward", li, n)
+		}
+	}
+	if g.locks == 0 {
+		t.Fatal("guard never engaged")
+	}
+}
+
+type recordingGuard struct {
+	held  map[int]int
+	locks int
+}
+
+func (g *recordingGuard) RLockLayer(li int)   { g.held[li]++; g.locks++ }
+func (g *recordingGuard) RUnlockLayer(li int) { g.held[li]-- }
+
 func TestEngineWithImageNetStem(t *testing.T) {
 	// A small ImageNet-style stem (7×7 stride-2 conv + maxpool) must
 	// compile and run.

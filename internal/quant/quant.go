@@ -130,15 +130,24 @@ func (m *Model) SyncAll() {
 	}
 }
 
-// Sync dequantizes this layer into its float parameter.
+// Sync dequantizes this layer into its float parameter. Layers without a
+// float side (pure DRAM images, e.g. model.SyntheticQuant) are left alone,
+// so attacks and recovery work on them too.
 func (l *Layer) Sync() {
+	if l.Param == nil {
+		return
+	}
 	for i, q := range l.Q {
 		l.Param.Value.Data[i] = float32(q) * l.scaleAt(i)
 	}
 }
 
 // SyncIndex dequantizes a single weight (cheap update after one bit flip).
+// No-op on layers without a float parameter.
 func (l *Layer) SyncIndex(i int) {
+	if l.Param == nil {
+		return
+	}
 	l.Param.Value.Data[i] = float32(l.Q[i]) * l.scaleAt(i)
 }
 

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"radar/internal/tensor"
+)
+
+// InferRequest is the JSON body of POST /infer: either a single input or a
+// list of inputs, each a flat float array of volume C·H·W. Shape defaults
+// to the server's configured input shape.
+type InferRequest struct {
+	// Input is a single flattened (C,H,W) image.
+	Input []float32 `json:"input,omitempty"`
+	// Inputs holds several flattened images; they are submitted together
+	// and batched by the server.
+	Inputs [][]float32 `json:"inputs,omitempty"`
+	// Shape is the per-input shape (C,H,W); optional when the server was
+	// configured with one.
+	Shape []int `json:"shape,omitempty"`
+}
+
+// InferResult is one input's answer in the JSON response.
+type InferResult struct {
+	Class  int       `json:"class"`
+	Logits []float32 `json:"logits"`
+}
+
+// InferResponse is the JSON body answering POST /infer.
+type InferResponse struct {
+	Results []InferResult `json:"results"`
+}
+
+// healthResponse is the JSON body of GET /healthz.
+type healthResponse struct {
+	Status        string `json:"status"`
+	Layers        int    `json:"layers"`
+	Groups        int    `json:"groups"`
+	InputShape    []int  `json:"input_shape,omitempty"`
+	VerifiedFetch bool   `json:"verified_fetch"`
+	ScrubMs       int64  `json:"scrub_interval_ms"`
+}
+
+// Handler returns the HTTP front-end:
+//
+//	POST /infer   — run inference on one or more inputs
+//	GET  /healthz — liveness and model identity
+//	GET  /metrics — the full metrics Snapshot as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	inputs := req.Inputs
+	if len(req.Input) > 0 {
+		inputs = append([][]float32{req.Input}, inputs...)
+	}
+	if len(inputs) == 0 {
+		http.Error(w, "no inputs", http.StatusBadRequest)
+		return
+	}
+	shape := req.Shape
+	if len(shape) == 0 {
+		shape = s.cfg.InputShape
+	}
+	if len(shape) != 3 {
+		http.Error(w, "shape must be (C,H,W)", http.StatusBadRequest)
+		return
+	}
+	vol := tensor.Volume(shape)
+	// Submit everything first so a multi-input request fills batches, then
+	// collect in order.
+	chans := make([]<-chan Result, len(inputs))
+	for i, in := range inputs {
+		if len(in) != vol {
+			http.Error(w, fmt.Sprintf("input %d has %d values, shape %v needs %d",
+				i, len(in), shape, vol), http.StatusBadRequest)
+			return
+		}
+		x := tensor.New(shape...)
+		copy(x.Data, in)
+		ch, err := s.submit(x)
+		if err != nil {
+			status := http.StatusBadRequest
+			if err == ErrServerClosed {
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		chans[i] = ch
+	}
+	resp := InferResponse{Results: make([]InferResult, len(chans))}
+	for i, ch := range chans {
+		res := <-ch
+		resp.Results[i] = InferResult{Class: res.Class, Logits: res.Logits}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.Healthy() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, healthResponse{Status: "stopping"})
+		return
+	}
+	writeJSON(w, healthResponse{
+		Status:        "ok",
+		Layers:        len(s.model.Layers),
+		Groups:        s.prot.NumGroups(),
+		InputShape:    s.cfg.InputShape,
+		VerifiedFetch: s.cfg.VerifiedFetch,
+		ScrubMs:       s.cfg.ScrubInterval.Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

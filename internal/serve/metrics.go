@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencySamples is the size of the end-to-end latency reservoir the
+// quantile snapshot is computed over (a ring of the most recent requests).
+const latencySamples = 4096
+
+// metrics holds the server's live counters. All fields are updated with
+// atomics (or under the ring's own mutex), so the hot paths never share a
+// lock with the snapshot reader.
+type metrics struct {
+	requests, batches, batched  atomic.Int64
+	scrubCycles                 atomic.Int64
+	scrubFlagged, scrubZeroed   atomic.Int64
+	verifyHits, verifyScans     atomic.Int64
+	verifyFlagged, verifyZeroed atomic.Int64
+	injections                  atomic.Int64
+
+	mu  sync.Mutex
+	lat []time.Duration // ring buffer of recent request latencies
+	idx int
+	n   int
+}
+
+func newMetrics() *metrics {
+	return &metrics{lat: make([]time.Duration, latencySamples)}
+}
+
+// observeLatency records one request's enqueue-to-answer latency.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.idx] = d
+	m.idx = (m.idx + 1) % len(m.lat)
+	if m.n < len(m.lat) {
+		m.n++
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the requested latency quantiles (q in [0,1]) over the
+// reservoir, or zeros when no requests have completed.
+func (m *metrics) quantiles(qs ...float64) []time.Duration {
+	m.mu.Lock()
+	sorted := append([]time.Duration(nil), m.lat[:m.n]...)
+	m.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		k := int(q * float64(len(sorted)-1))
+		out[i] = sorted[k]
+	}
+	return out
+}
+
+// Snapshot is a point-in-time export of the server's metrics, shaped for
+// JSON (the /metrics endpoint and the servescale benchmark artifact).
+type Snapshot struct {
+	// UptimeSeconds is the time since Start.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts answered requests; Batches the forward passes that
+	// carried them; AvgBatch their ratio.
+	Requests int64   `json:"requests"`
+	Batches  int64   `json:"batches"`
+	AvgBatch float64 `json:"avg_batch"`
+	// P50Ms / P99Ms are end-to-end request latency quantiles over the most
+	// recent requests (enqueue to answer, including batching wait).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// ScrubCycles counts scrubber cycles; ScrubFlagged / ScrubZeroed what
+	// they found and repaired.
+	ScrubCycles  int64 `json:"scrub_cycles"`
+	ScrubFlagged int64 `json:"scrub_flagged"`
+	ScrubZeroed  int64 `json:"scrub_zeroed"`
+	// VerifyHits counts fetches answered by the epoch cache; VerifyScans
+	// fetches that rescanned the layer; VerifyFlagged / VerifyZeroed what
+	// the fetch-path scans caught.
+	VerifyHits    int64 `json:"verify_hits"`
+	VerifyScans   int64 `json:"verify_scans"`
+	VerifyFlagged int64 `json:"verify_flagged"`
+	VerifyZeroed  int64 `json:"verify_zeroed"`
+	// Injections counts Inject calls (live attack rounds).
+	Injections int64 `json:"injections"`
+	// ProtectorScans etc. mirror core.Protector.Stats for the whole
+	// protector (scrubber + verified fetch combined).
+	ProtectorScans  int64 `json:"protector_scans"`
+	GroupsFlagged   int64 `json:"groups_flagged"`
+	GroupsRecovered int64 `json:"groups_recovered"`
+	WeightsZeroed   int64 `json:"weights_zeroed"`
+}
+
+// Snapshot exports the current metrics. Safe to call at any time,
+// including while traffic and scrubbing are live.
+func (s *Server) Snapshot() Snapshot {
+	qs := s.met.quantiles(0.50, 0.99)
+	st := s.prot.Stats()
+	snap := Snapshot{
+		Requests:        s.met.requests.Load(),
+		Batches:         s.met.batches.Load(),
+		P50Ms:           float64(qs[0]) / float64(time.Millisecond),
+		P99Ms:           float64(qs[1]) / float64(time.Millisecond),
+		ScrubCycles:     s.met.scrubCycles.Load(),
+		ScrubFlagged:    s.met.scrubFlagged.Load(),
+		ScrubZeroed:     s.met.scrubZeroed.Load(),
+		VerifyHits:      s.met.verifyHits.Load(),
+		VerifyScans:     s.met.verifyScans.Load(),
+		VerifyFlagged:   s.met.verifyFlagged.Load(),
+		VerifyZeroed:    s.met.verifyZeroed.Load(),
+		Injections:      s.met.injections.Load(),
+		ProtectorScans:  st.Scans,
+		GroupsFlagged:   st.GroupsFlagged,
+		GroupsRecovered: st.GroupsRecovered,
+		WeightsZeroed:   st.WeightsZeroed,
+	}
+	if !s.start.IsZero() {
+		snap.UptimeSeconds = time.Since(s.start).Seconds()
+	}
+	if snap.Batches > 0 {
+		snap.AvgBatch = float64(s.met.batched.Load()) / float64(snap.Batches)
+	}
+	return snap
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"radar/internal/attack"
+	"radar/internal/model"
+	"radar/internal/quant"
+	"radar/internal/rowhammer"
+)
+
+// TestServeRaceUnderLiveFlips is the -race contract of the subsystem: it
+// serves inference from several clients while (a) a rowhammer adversary
+// flips bits in the live weight image, (b) the background scrubber scans
+// and recovers, (c) a foreground goroutine hammers DetectAndRecover — the
+// exact read/write collision that was latent before recovery was routed
+// through the layer guard — and (d) metrics are polled. Run under
+// `go test -race ./internal/serve/`; any unguarded access fails the build.
+func TestServeRaceUnderLiveFlips(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScrubInterval = time.Millisecond
+	cfg.ScrubFullEvery = 2
+	cfg.MaxLatency = 500 * time.Microsecond
+	b, srv := newTinyServer(t, cfg)
+
+	// A precomputed MSB profile to mount repeatedly through the simulated
+	// DRAM; computed on a separate attacker copy so profiling itself does
+	// not touch the victim.
+	atk := model.Load(model.TinySpec())
+	addrs := attack.RandomMSB(atk.QModel, 8, 11).Addresses()
+	dram := rowhammer.New(b.QModel, rowhammer.DefaultGeometry(), 1)
+
+	x, _ := b.Test.Batch(0, 8)
+	const (
+		clients   = 4
+		perClient = 25
+		atkRounds = 20
+		drRounds  = 10
+	)
+	var wg sync.WaitGroup
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := srv.Infer(sample(x, (c+i)%8)); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	wg.Add(1)
+	go func() { // live rowhammer adversary
+		defer wg.Done()
+		for i := 0; i < atkRounds; i++ {
+			srv.Inject(func(m *quant.Model) {
+				dram.MountProfile(addrs)
+				dram.Refresh()
+			})
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // foreground detect-and-recover alongside the scrubber
+		defer wg.Done()
+		for i := 0; i < drRounds; i++ {
+			srv.Protector().DetectAndRecover()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // metrics poller
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			srv.Snapshot()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	snap := srv.Snapshot()
+	if snap.Requests != clients*perClient {
+		t.Fatalf("served %d requests, want %d", snap.Requests, clients*perClient)
+	}
+	if snap.Injections != atkRounds {
+		t.Fatalf("recorded %d injections, want %d", snap.Injections, atkRounds)
+	}
+	srv.Stop()
+	// After traffic stops, one final full sweep must leave the model clean.
+	if flagged, _ := srv.Protector().DetectAndRecover(); len(flagged) != 0 {
+		// The last injection may have landed after the last scrub; a second
+		// sweep on a quiesced model must be clean.
+		if flagged2, _ := srv.Protector().DetectAndRecover(); len(flagged2) != 0 {
+			t.Fatalf("model still corrupt after quiesced sweep: %v", flagged2)
+		}
+	}
+}

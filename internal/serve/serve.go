@@ -1,0 +1,277 @@
+// Package serve is the protected inference serving subsystem: it keeps a
+// RADAR-protected quantized model continuously safe while answering
+// inference traffic — the paper's run-time deployment model turned into an
+// actual server. Four cooperating pieces share one int8 weight image:
+//
+//   - A batching queue (bounded, with a max-batch-size and max-latency
+//     flush policy) that coalesces single-input requests into batched
+//     forward passes on a pool of inference workers.
+//   - A background scrubber goroutine that periodically runs the
+//     incremental ScanDirty (falling back to a pipelined full
+//     DetectAndRecover every few cycles) and zeroes whatever it flags.
+//   - A verified weight-fetch path: when enabled, every quantized layer is
+//     re-verified immediately before its conv stage executes, with a
+//     per-layer epoch cache so a layer that has not been written since its
+//     last verification costs two atomic loads instead of a scan.
+//   - An attack-injection hook that runs an adversary (e.g. a rowhammer
+//     simulator mounting a PBFA profile) against the live model under
+//     whole-model write exclusion, so integration tests and benchmarks can
+//     flip bits mid-traffic without tripping the race detector.
+//
+// All cross-goroutine access to the weight image is coordinated through
+// one core.LayerGuard: inference and scans take per-layer read locks,
+// recovery and injected attacks take per-layer write locks. The subsystem
+// is therefore -race-clean by construction while flips, scrubs, verified
+// fetches and batched forwards all land on the same storage.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/qinfer"
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+// Config tunes the serving subsystem.
+type Config struct {
+	// MaxBatch is the largest number of requests coalesced into one
+	// forward pass (default 8).
+	MaxBatch int
+	// MaxLatency is how long the batcher waits for a batch to fill before
+	// flushing a partial one (default 2ms).
+	MaxLatency time.Duration
+	// Workers is the number of inference worker goroutines (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-request queue; submitters block once
+	// it is full (default 256).
+	QueueDepth int
+	// VerifiedFetch enables per-layer signature verification in the
+	// weight-fetch path of every conv stage (the embedded detection of
+	// Tables IV/V). Clean layers are skipped via the epoch cache.
+	VerifiedFetch bool
+	// ScrubInterval is the background scrubber period; zero disables the
+	// scrubber entirely.
+	ScrubInterval time.Duration
+	// ScrubFullEvery makes every Nth scrub cycle a full pipelined
+	// DetectAndRecover instead of an incremental ScanDirty, catching
+	// corruption that bypassed the model API (default 8; 1 means every
+	// cycle is full).
+	ScrubFullEvery int
+	// InputShape, when set, is the expected per-request input shape
+	// (C, H, W); Infer and the HTTP front-end validate against it.
+	InputShape []int
+}
+
+// DefaultConfig returns serving defaults: batches of up to 8 with a 2ms
+// window, one worker per CPU, verified fetch on, and a 100ms scrubber.
+func DefaultConfig() Config {
+	return Config{
+		MaxBatch:       8,
+		MaxLatency:     2 * time.Millisecond,
+		Workers:        runtime.GOMAXPROCS(0),
+		QueueDepth:     256,
+		VerifiedFetch:  true,
+		ScrubInterval:  100 * time.Millisecond,
+		ScrubFullEvery: 8,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.ScrubFullEvery <= 0 {
+		c.ScrubFullEvery = 8
+	}
+}
+
+// Result is one request's answer.
+type Result struct {
+	// Class is the argmax of Logits.
+	Class int
+	// Logits is the classifier output row for this input.
+	Logits []float32
+}
+
+// request is one queued inference input awaiting batching.
+type request struct {
+	x   *tensor.Tensor // (C, H, W)
+	enq time.Time
+	out chan Result
+}
+
+// ErrServerClosed is returned by Infer after Stop has begun.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Server binds an int8 inference engine to a RADAR protector and serves
+// batched, continuously-verified inference. Build with New, then Start;
+// Stop drains in-flight requests before returning.
+type Server struct {
+	cfg   Config
+	eng   *qinfer.Engine
+	prot  *core.Protector
+	model *quant.Model
+	guard *core.LayerGuard
+	ver   *verifier
+	met   *metrics
+
+	reqs    chan *request
+	batches chan []*request
+
+	// submitMu lets Stop wait out in-flight Infer sends before closing
+	// reqs; stopping flips first so new submitters bail out.
+	submitMu sync.RWMutex
+	stopping atomic.Bool
+	started  atomic.Bool
+
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
+	workWG    sync.WaitGroup
+	unobserve func()
+	start     time.Time
+}
+
+// New wires a server around an engine and the protector guarding the
+// engine's weight image. The engine becomes owned by the server: New
+// installs the fetch hook and weight guard, so it must not be used for
+// unrelated inference afterwards. The protector must protect the same
+// quant.Model the engine was compiled from.
+func New(eng *qinfer.Engine, prot *core.Protector, cfg Config) *Server {
+	cfg.fillDefaults()
+	m := prot.Model
+	s := &Server{
+		cfg:       cfg,
+		eng:       eng,
+		prot:      prot,
+		model:     m,
+		guard:     core.NewLayerGuard(len(m.Layers)),
+		met:       newMetrics(),
+		reqs:      make(chan *request, cfg.QueueDepth),
+		batches:   make(chan []*request, cfg.Workers),
+		scrubStop: make(chan struct{}),
+	}
+	prot.Coordinate(s.guard)
+	eng.SetWeightGuard(s.guard)
+	s.ver = newVerifier(prot, s.met, len(m.Layers))
+	if cfg.VerifiedFetch {
+		eng.SetFetchHook(s.ver.check)
+	}
+	// Every write through the model API bumps the written layer's epoch so
+	// the verified-fetch cache knows to re-verify it.
+	s.unobserve = m.Observe(s.ver.bump)
+	return s
+}
+
+// Start launches the batcher, the inference workers and (when configured)
+// the background scrubber.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.start = time.Now()
+	s.workWG.Add(1)
+	go s.dispatch()
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.workWG.Add(1)
+		go s.worker()
+	}
+	if s.cfg.ScrubInterval > 0 {
+		s.scrubWG.Add(1)
+		go s.scrubLoop()
+	}
+}
+
+// Stop gracefully shuts the server down: new Infer calls fail immediately,
+// already-queued requests are batched, answered and counted, and the
+// scrubber exits after its current cycle. Stop returns once every
+// goroutine has finished; it is idempotent.
+func (s *Server) Stop() {
+	if !s.stopping.CompareAndSwap(false, true) {
+		return
+	}
+	// Wait for in-flight submitters (they hold submitMu.RLock while
+	// sending), then close the intake so the dispatcher drains and exits.
+	s.submitMu.Lock()
+	close(s.reqs)
+	s.submitMu.Unlock()
+	s.workWG.Wait()
+	close(s.scrubStop)
+	s.scrubWG.Wait()
+	if s.unobserve != nil {
+		s.unobserve()
+		s.unobserve = nil
+	}
+}
+
+// Infer submits one input of shape (C, H, W) — or (1, C, H, W) — and
+// blocks until its result is ready. Safe for any number of concurrent
+// callers; concurrent submissions are what the batcher coalesces.
+func (s *Server) Infer(x *tensor.Tensor) (Result, error) {
+	ch, err := s.submit(x)
+	if err != nil {
+		return Result{}, err
+	}
+	return <-ch, nil
+}
+
+// submit validates and enqueues one input, returning the channel its
+// result will arrive on. Used by Infer and by the HTTP front-end (which
+// submits a whole JSON body before collecting, so multi-input requests
+// batch naturally).
+func (s *Server) submit(x *tensor.Tensor) (<-chan Result, error) {
+	shape := x.Shape
+	if len(shape) == 4 && shape[0] == 1 {
+		shape = shape[1:]
+	}
+	if len(shape) != 3 {
+		return nil, fmt.Errorf("serve: input shape %v, want (C,H,W)", x.Shape)
+	}
+	if want := s.cfg.InputShape; len(want) == 3 {
+		if shape[0] != want[0] || shape[1] != want[1] || shape[2] != want[2] {
+			return nil, fmt.Errorf("serve: input shape %v, want %v", shape, want)
+		}
+	}
+	r := &request{x: x, enq: time.Now(), out: make(chan Result, 1)}
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.stopping.Load() || !s.started.Load() {
+		return nil, ErrServerClosed
+	}
+	s.reqs <- r
+	return r.out, nil
+}
+
+// Inject runs an adversary against the live model under whole-model write
+// exclusion: no inference fetch, scan or recovery overlaps f. This is the
+// attack-injection hook — hand it a closure that mounts a rowhammer
+// profile or flips chosen bits, and the serving stack will detect and
+// recover on the following fetches and scrub cycles.
+func (s *Server) Inject(f func(m *quant.Model)) {
+	s.guard.LockAll()
+	f(s.model)
+	s.guard.UnlockAll()
+	s.met.injections.Add(1)
+}
+
+// Protector exposes the protector (e.g. for stats).
+func (s *Server) Protector() *core.Protector { return s.prot }
+
+// Healthy reports whether the server is started and not stopping.
+func (s *Server) Healthy() bool { return s.started.Load() && !s.stopping.Load() }

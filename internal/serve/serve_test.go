@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/model"
+	"radar/internal/qinfer"
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+// newTinyServer boots a server on the tiny test model. Each call builds an
+// independent bundle, so tests may corrupt weights freely.
+func newTinyServer(t testing.TB, cfg Config) (*model.Bundle, *Server) {
+	t.Helper()
+	b := model.Load(model.TinySpec())
+	calib, _ := b.Attack.Batch(0, 64)
+	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	prot := core.Protect(b.QModel, core.DefaultConfig(4))
+	cfg.InputShape = []int{b.Spec.Data.Channels, b.Spec.Data.Size, b.Spec.Data.Size}
+	srv := New(eng, prot, cfg)
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return b, srv
+}
+
+// sample extracts input i of a dataset batch as a standalone (C,H,W) tensor.
+func sample(x *tensor.Tensor, i int) *tensor.Tensor {
+	shape := x.Shape[1:]
+	vol := tensor.Volume(shape)
+	out := tensor.New(shape...)
+	copy(out.Data, x.Data[i*vol:(i+1)*vol])
+	return out
+}
+
+func TestServeMatchesDirectEngine(t *testing.T) {
+	b := model.Load(model.TinySpec())
+	calib, _ := b.Attack.Batch(0, 64)
+	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Reference answers before the engine is handed to the server.
+	x, _ := b.Test.Batch(0, 16)
+	ref := eng.Forward(x)
+	k := ref.Shape[1]
+
+	prot := core.Protect(b.QModel, core.DefaultConfig(4))
+	srv := New(eng, prot, DefaultConfig())
+	srv.Start()
+	defer srv.Stop()
+
+	var wg sync.WaitGroup
+	results := make([]Result, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := srv.Infer(sample(x, i))
+			if err != nil {
+				t.Errorf("Infer %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if want := ref.Argmax(i*k, k); res.Class != want {
+			t.Fatalf("input %d: served class %d, direct engine %d", i, res.Class, want)
+		}
+		for j, v := range res.Logits {
+			if v != ref.Data[i*k+j] {
+				t.Fatalf("input %d logit %d: served %v, direct %v", i, j, v, ref.Data[i*k+j])
+			}
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.Requests != 16 {
+		t.Fatalf("snapshot counted %d requests, want 16", snap.Requests)
+	}
+	if snap.Batches >= 16 {
+		t.Fatalf("no batching happened: %d batches for 16 concurrent requests", snap.Batches)
+	}
+}
+
+func TestServeRejectsBadShape(t *testing.T) {
+	_, srv := newTinyServer(t, DefaultConfig())
+	if _, err := srv.Infer(tensor.New(1, 2, 3)); err == nil {
+		t.Fatal("mismatched input shape accepted")
+	}
+	if _, err := srv.Infer(tensor.New(5)); err == nil {
+		t.Fatal("rank-1 input accepted")
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	b, srv := newTinyServer(t, DefaultConfig())
+	x, _ := b.Test.Batch(0, 8)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = srv.Infer(sample(x, i))
+		}(i)
+	}
+	wg.Wait()
+	srv.Stop()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pre-stop request %d failed: %v", i, err)
+		}
+	}
+	if _, err := srv.Infer(sample(x, 0)); err != ErrServerClosed {
+		t.Fatalf("post-stop Infer returned %v, want ErrServerClosed", err)
+	}
+	srv.Stop() // idempotent
+}
+
+// TestVerifiedFetchEpochCache: repeated inference on a clean model must be
+// served from the epoch cache; a write invalidates exactly the written
+// layer and the fetch path catches and repairs the corruption.
+func TestVerifiedFetchEpochCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScrubInterval = 0 // isolate the fetch path
+	b, srv := newTinyServer(t, cfg)
+	x, _ := b.Test.Batch(0, 4)
+
+	if _, err := srv.Infer(sample(x, 0)); err != nil {
+		t.Fatal(err)
+	}
+	warm := srv.Snapshot()
+	if warm.VerifyScans == 0 {
+		t.Fatal("first inference did not verify any layer")
+	}
+	if _, err := srv.Infer(sample(x, 1)); err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Snapshot()
+	if after.VerifyScans != warm.VerifyScans {
+		t.Fatalf("clean re-inference rescanned layers: %d -> %d scans",
+			warm.VerifyScans, after.VerifyScans)
+	}
+	if after.VerifyHits <= warm.VerifyHits {
+		t.Fatal("clean re-inference did not hit the epoch cache")
+	}
+
+	// Flip an MSB in layer 0 through the injection hook: the next fetch of
+	// layer 0 must rescan, flag and zero it before the conv runs.
+	srv.Inject(func(m *quant.Model) {
+		m.FlipBit(quant.BitAddress{LayerIndex: 0, WeightIndex: 3, Bit: quant.MSB})
+	})
+	if _, err := srv.Infer(sample(x, 2)); err != nil {
+		t.Fatal(err)
+	}
+	hit := srv.Snapshot()
+	if hit.VerifyScans != after.VerifyScans+1 {
+		t.Fatalf("flip invalidated %d layers, want exactly 1", hit.VerifyScans-after.VerifyScans)
+	}
+	if hit.VerifyFlagged == 0 || hit.VerifyZeroed == 0 {
+		t.Fatalf("fetch path missed the flip: %+v", hit)
+	}
+	// Verified state is cached again.
+	if _, err := srv.Infer(sample(x, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if end := srv.Snapshot(); end.VerifyScans != hit.VerifyScans {
+		t.Fatal("repaired layer was rescanned on the next request")
+	}
+}
+
+// TestScrubberRepairsBypassingWrites: corruption written directly to
+// Layer.Q (bypassing the model API, like a true hardware flip) is invisible
+// to dirty tracking and the epoch cache, but the periodic full scrub cycle
+// catches it.
+func TestScrubberRepairsBypassingWrites(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScrubInterval = 0 // drive cycles by hand for determinism
+	b, srv := newTinyServer(t, cfg)
+
+	l := b.QModel.Layers[1]
+	srv.Inject(func(m *quant.Model) {
+		l.Q[7] = quant.FlipBit(l.Q[7], quant.MSB) // direct write, no notify
+	})
+	if flagged, _ := srv.Scrub(false); len(flagged) != 0 {
+		t.Fatalf("incremental scrub saw a bypassing write: %v", flagged)
+	}
+	flagged, zeroed := srv.Scrub(true)
+	if len(flagged) == 0 || zeroed == 0 {
+		t.Fatal("full scrub missed direct corruption")
+	}
+	if flagged[0].Layer != 1 {
+		t.Fatalf("flagged layer %d, want 1", flagged[0].Layer)
+	}
+	snap := srv.Snapshot()
+	if snap.ScrubCycles != 2 || snap.ScrubFlagged == 0 || snap.ScrubZeroed == 0 {
+		t.Fatalf("scrub metrics wrong: %+v", snap)
+	}
+}
+
+func TestHTTPFrontend(t *testing.T) {
+	b, srv := newTinyServer(t, DefaultConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// healthz
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Layers int    `json:"layers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Layers != len(b.QModel.Layers) {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	// infer: two inputs in one request
+	x, _ := b.Test.Batch(0, 2)
+	vol := tensor.Volume(x.Shape[1:])
+	body, _ := json.Marshal(InferRequest{
+		Inputs: [][]float32{x.Data[:vol], x.Data[vol : 2*vol]},
+	})
+	resp, err = http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d", resp.StatusCode)
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 2 || len(out.Results[0].Logits) == 0 {
+		t.Fatalf("infer response: %+v", out)
+	}
+
+	// bad requests
+	resp, _ = http.Post(ts.URL+"/infer", "application/json", bytes.NewReader([]byte(`{"input":[1,2]}`)))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short input accepted: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/infer")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /infer: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// metrics
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Requests < 2 {
+		t.Fatalf("metrics saw %d requests, want >= 2", snap.Requests)
+	}
+}
+
+// TestBatchWindowFlush: a single request must not wait forever for a full
+// batch — the MaxLatency timer flushes it.
+func TestBatchWindowFlush(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 64
+	cfg.MaxLatency = 5 * time.Millisecond
+	b, srv := newTinyServer(t, cfg)
+	x, _ := b.Test.Batch(0, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := srv.Infer(sample(x, 0)); err != nil {
+			t.Errorf("Infer: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lone request never flushed")
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"radar/internal/core"
+)
+
+// verifier implements the verified weight-fetch path with per-layer epoch
+// caching. Every write to a layer (observed through the quant.Model API or
+// injected via Server.Inject, which goes through FlipBit/Restore too)
+// bumps that layer's epoch. A fetch first compares the layer's epoch
+// against the epoch at which it was last verified clean: equal means no
+// write has landed since, and the fetch proceeds for the cost of two
+// atomic loads. On a miss the layer is rescanned and recovered atomically
+// under its write lock (core.Protector.VerifyAndRecoverLayer) and the
+// clean mark advances.
+//
+// The clean mark stores verifiedEpoch+1 so the zero value means "never
+// verified". The epoch is sampled before the locked scan; a write that
+// lands between the sample and the lock bumps the live epoch past the
+// sample, so the stale clean mark simply forces one extra scan on the next
+// fetch — the cache errs only toward re-scanning, never toward trusting a
+// written layer.
+type verifier struct {
+	prot  *core.Protector
+	met   *metrics
+	cur   []atomic.Uint64 // write epoch per layer
+	clean []atomic.Uint64 // 1 + epoch last verified clean; 0 = never
+}
+
+func newVerifier(prot *core.Protector, met *metrics, layers int) *verifier {
+	return &verifier{
+		prot:  prot,
+		met:   met,
+		cur:   make([]atomic.Uint64, layers),
+		clean: make([]atomic.Uint64, layers),
+	}
+}
+
+// bump records a write to layer li (model observer callback).
+func (v *verifier) bump(li int) {
+	if li >= 0 && li < len(v.cur) {
+		v.cur[li].Add(1)
+	}
+}
+
+// check is the engine's FetchHook: it runs immediately before layer li's
+// conv stage reads its weights.
+func (v *verifier) check(li int) {
+	e := v.cur[li].Load()
+	if v.clean[li].Load() == e+1 {
+		v.met.verifyHits.Add(1)
+		return
+	}
+	v.met.verifyScans.Add(1)
+	flagged, zeroed := v.prot.VerifyAndRecoverLayer(li)
+	if len(flagged) > 0 {
+		v.met.verifyFlagged.Add(int64(len(flagged)))
+		v.met.verifyZeroed.Add(int64(zeroed))
+	}
+	v.clean[li].Store(e + 1)
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Boots radar-serve against the tiny testdata checkpoint and smoke-tests
+# the HTTP API: /healthz must report ok, /infer must classify, /metrics
+# must count the request. Used by `make serve-smoke` and the CI
+# serve-integration job.
+set -euo pipefail
+
+BIN=${1:-./radar-serve}
+ADDR=127.0.0.1:18080
+LOG=$(mktemp)
+
+"$BIN" -model tiny -addr "$ADDR" -scrub 50ms >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; cat "$LOG"' EXIT
+
+# Wait for the server to come up (tiny checkpoint loads in well under 10s).
+up=""
+for _ in $(seq 1 50); do
+    if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "server never came up"; exit 1; }
+
+curl -fs "http://$ADDR/healthz" | grep -q '"ok"' || { echo "healthz not ok"; exit 1; }
+
+# One 3x8x8 input (the tiny spec's shape), all values 0.1.
+payload=$(awk 'BEGIN{printf "{\"input\":["; for(i=0;i<192;i++){printf "%s0.1",(i?",":"")}; printf "]}"}')
+curl -fs -X POST -d "$payload" "http://$ADDR/infer" | grep -q '"class"' || { echo "infer failed"; exit 1; }
+
+curl -fs "http://$ADDR/metrics" | grep -q '"requests": 1' || { echo "metrics missed the request"; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+echo "serve smoke OK"
