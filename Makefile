@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke serve-smoke lint fmt
+.PHONY: build test race bench bench-smoke bench-artifacts bench-compare serve-smoke lint fmt
 
 build:
 	$(GO) build ./...
@@ -10,19 +10,35 @@ build:
 test:
 	$(GO) test -timeout 30m ./...
 
-# Race-detect the concurrent subsystems: the parallel scan engine and the
-# serving stack (batching + scrubber + verified fetch under live flips).
+# Race-detect the concurrent subsystems: the parallel scan engine, the
+# serving stack (batching + scrubber + verified fetch under live flips)
+# and the inference engine's pooled conv scratch, plus the differential
+# kernel property/fuzz seeds.
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/...
 
 # Full benchmark sweep (slow; trains zoo models on first run).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-# Fast guard that the scan + serve benchmarks still compile and run (1
-# iteration; checkpoints come from testdata/models, so no training happens).
+# Fast guard that the scan + serve + conv-kernel benchmarks still compile
+# and run (1 iteration; checkpoints come from testdata/models, so no
+# training happens).
 bench-smoke:
 	$(GO) test -bench='Scan|Serve' -benchtime=1x -run '^$$' .
+	$(GO) test -bench='Conv' -benchtime=1x -run '^$$' ./internal/qinfer/
+
+# Machine-readable perf artifacts: the scan worker sweep (with the
+# old-vs-new checksum kernel record) and the serving-under-attack sweep.
+bench-artifacts:
+	$(GO) run ./cmd/radar-bench -exp scanscale
+	$(GO) run ./cmd/radar-bench -exp servescale
+
+# Benchstat-style diff of benchmarks between HEAD and a base ref
+# (default: previous commit). Usage: make bench-compare [REF=<git-ref>]
+# [BENCH='<pattern>'] [COUNT=<n>].
+bench-compare:
+	./scripts/bench_compare.sh $(REF)
 
 # Boot radar-serve on the tiny checkpoint and exercise the HTTP API.
 serve-smoke:

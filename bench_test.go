@@ -239,8 +239,8 @@ func BenchmarkScanDirty(b *testing.B) {
 	}
 }
 
-// BenchmarkSignatureScan measures RADAR's software checksum throughput
-// over a ResNet-18-scale weight image (11.7 MB) at G=512, interleaved.
+// BenchmarkSignatureScan measures RADAR's software checksum throughput —
+// the SWAR kernel — over a 4 MiB weight image at G=512, interleaved.
 func BenchmarkSignatureScan(b *testing.B) {
 	q := make([]int8, 1<<22) // 4 MiB layer
 	for i := range q {
@@ -265,6 +265,36 @@ func BenchmarkSignatureScanPlain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Signatures(q)
+	}
+}
+
+// BenchmarkSignatureScanRef runs the retained scalar row-walk kernel over
+// the same image — the in-tree "old kernel" baseline the SWAR speedup is
+// measured against (see also BENCH_scanscale.json's kernels record).
+func BenchmarkSignatureScanRef(b *testing.B) {
+	q := make([]int8, 1<<22)
+	for i := range q {
+		q[i] = int8(i * 31)
+	}
+	s := core.Scheme{G: 512, Interleave: true, Offset: 3, Key: 0xBEEF, SigBits: 2}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SignaturesRangeRef(q, 0, s.NumGroups(len(q)))
+	}
+}
+
+// BenchmarkSignatureScanPlainRef is the scalar non-interleaved baseline.
+func BenchmarkSignatureScanPlainRef(b *testing.B) {
+	q := make([]int8, 1<<22)
+	for i := range q {
+		q[i] = int8(i * 31)
+	}
+	s := core.Scheme{G: 512, Offset: 3, Key: 0xBEEF, SigBits: 2}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SignaturesRangeRef(q, 0, s.NumGroups(len(q)))
 	}
 }
 

@@ -9,11 +9,14 @@
 //
 // The scanscale experiment sweeps the parallel scan engine's worker pool
 // (1/2/4/GOMAXPROCS) over a full-scale ResNet-18 weight image and reports
-// per-sweep throughput and speedup. The servescale experiment measures the
+// per-sweep throughput and speedup plus the single-thread old-vs-new
+// checksum kernel comparison. The servescale experiment measures the
 // protected inference server's requests/sec under a live bit-flip
-// adversary with the scrubber and verified weight-fetch toggled, and
-// additionally writes a machine-readable JSON artifact to the -json path
-// (default BENCH_servescale.json).
+// adversary with the scrubber and verified weight-fetch toggled. Both
+// write machine-readable JSON artifacts — BENCH_scanscale.json and
+// BENCH_servescale.json — to per-experiment default paths, or to the
+// -json path when set explicitly (meaningful only when running a single
+// JSON-capable experiment).
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 func main() {
 	which := flag.String("exp", "all", "experiment id (see DESIGN.md per-experiment index)")
 	scale := flag.String("scale", "full", "statistics scale: quick or full")
-	jsonPath := flag.String("json", "BENCH_servescale.json", "output path for machine-readable results of JSON-capable experiments (servescale)")
+	jsonPath := flag.String("json", "", "output path for machine-readable results of JSON-capable experiments (scanscale, servescale); default BENCH_<exp>.json per experiment")
 	flag.Parse()
 
 	var opt exp.Options
@@ -75,14 +78,14 @@ func main() {
 		{"runtime", func() string { return exp.RuntimeDetection(ctx).Render() }},
 		{"engine", func() string { return exp.EngineParity(ctx).Render() }},
 		{"software", func() string { return exp.SoftwareOverhead().Render() }},
-		{"scanscale", func() string { return exp.ScanScaling().Render() }},
+		{"scanscale", func() string {
+			r := exp.ScanScaling()
+			writeJSON(artifactPath(*jsonPath, "scanscale"), r.WriteJSON)
+			return r.Render()
+		}},
 		{"servescale", func() string {
 			r := exp.ServeScaling()
-			if err := r.WriteJSON(*jsonPath); err != nil {
-				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
-			} else {
-				fmt.Printf("wrote %s\n", *jsonPath)
-			}
+			writeJSON(artifactPath(*jsonPath, "servescale"), r.WriteJSON)
 			return r.Render()
 		}},
 	}
@@ -100,5 +103,22 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		os.Exit(2)
+	}
+}
+
+// artifactPath resolves the JSON artifact path: the -json override when
+// set, otherwise the experiment's BENCH_<exp>.json default.
+func artifactPath(override, expID string) string {
+	if override != "" {
+		return override
+	}
+	return "BENCH_" + expID + ".json"
+}
+
+func writeJSON(path string, write func(string) error) {
+	if err := write(path); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+	} else {
+		fmt.Printf("wrote %s\n", path)
 	}
 }

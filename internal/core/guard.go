@@ -98,7 +98,11 @@ func (p *Protector) VerifyAndRecoverLayer(li int) (flagged []GroupID, zeroed int
 	defer p.guard.UnlockLayer(li)
 	p.clearDirty(li)
 	p.stats.scans.Add(1)
-	flagged = p.scanShardsLocked(p.layerShards(li))
+	p.addBytesScanned(li)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.shards = p.appendLayerShards(sc.shards, li)
+	flagged = p.scanShardsLocked(sc.shards, sc)
 	for _, g := range flagged {
 		zeroed += p.recoverGroupLocked(g)
 	}
@@ -117,6 +121,10 @@ type Stats struct {
 	// dirty layers still counts: the protector did decide all layers were
 	// clean.
 	Scans int64
+	// BytesScanned counts weight bytes covered by scans (one byte per int8
+	// weight) — divided by uptime it is the scan-bytes/s figure the serving
+	// metrics export.
+	BytesScanned int64
 	// GroupsFlagged counts signature mismatches reported across all scans.
 	GroupsFlagged int64
 	// GroupsRecovered counts groups zeroed by Recover /
@@ -131,6 +139,7 @@ type Stats struct {
 func (p *Protector) Stats() Stats {
 	return Stats{
 		Scans:           p.stats.scans.Load(),
+		BytesScanned:    p.stats.bytesScanned.Load(),
 		GroupsFlagged:   p.stats.groupsFlagged.Load(),
 		GroupsRecovered: p.stats.groupsRecovered.Load(),
 		WeightsZeroed:   p.stats.weightsZeroed.Load(),

@@ -76,7 +76,7 @@ type Protector struct {
 	guard *LayerGuard
 	// stats are the activity counters exported by Stats.
 	stats struct {
-		scans, groupsFlagged, groupsRecovered, weightsZeroed atomic.Int64
+		scans, bytesScanned, groupsFlagged, groupsRecovered, weightsZeroed atomic.Int64
 	}
 }
 
@@ -197,20 +197,20 @@ func (p *Protector) clearDirty(li int) {
 	p.mu.Unlock()
 }
 
-// takeDirty snapshots and clears the dirty layer set, returning the layer
-// indices in ascending order.
-func (p *Protector) takeDirty() []int {
+// takeDirty snapshots and clears the dirty layer set, appending the layer
+// indices in ascending order onto dst (a pooled buffer, so the steady-state
+// incremental scan allocates nothing).
+func (p *Protector) takeDirty(dst []int) []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureDirtyLocked()
-	var out []int
 	for li, d := range p.dirty {
 		if d {
-			out = append(out, li)
+			dst = append(dst, li)
 			p.dirty[li] = false
 		}
 	}
-	return out
+	return dst
 }
 
 // Scan recomputes every layer's signatures over the current (possibly
@@ -221,7 +221,26 @@ func (p *Protector) takeDirty() []int {
 func (p *Protector) Scan() []GroupID {
 	p.clearDirty(-1)
 	p.stats.scans.Add(1)
-	return p.scanShards(p.shards())
+	p.addBytesScanned(-1)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.shards = p.appendShards(sc.shards)
+	return p.scanShards(sc.shards, sc)
+}
+
+// addBytesScanned accounts one scan pass over layer li (negative: all
+// layers) in the BytesScanned counter — one byte per int8 weight, the
+// scan-throughput figure the serving metrics export.
+func (p *Protector) addBytesScanned(li int) {
+	if li >= 0 {
+		p.stats.bytesScanned.Add(int64(len(p.Model.Layers[li].Q)))
+		return
+	}
+	total := 0
+	for _, l := range p.Model.Layers {
+		total += len(l.Q)
+	}
+	p.stats.bytesScanned.Add(int64(total))
 }
 
 // ScanLayer scans a single layer (used by the run-time embedded detection,
@@ -230,7 +249,11 @@ func (p *Protector) Scan() []GroupID {
 func (p *Protector) ScanLayer(li int) []GroupID {
 	p.clearDirty(li)
 	p.stats.scans.Add(1)
-	return p.scanShards(p.layerShards(li))
+	p.addBytesScanned(li)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.shards = p.appendLayerShards(sc.shards, li)
+	return p.scanShards(sc.shards, sc)
 }
 
 // ScanDirty is the incremental scan: it checks only layers written through
@@ -242,15 +265,17 @@ func (p *Protector) ScanLayer(li int) []GroupID {
 // for the dirty layers the result equals what Scan would report.
 func (p *Protector) ScanDirty() []GroupID {
 	p.stats.scans.Add(1)
-	layers := p.takeDirty()
-	if len(layers) == 0 {
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.dirty = p.takeDirty(sc.dirty)
+	if len(sc.dirty) == 0 {
 		return nil
 	}
-	var sh []shard
-	for _, li := range layers {
-		sh = append(sh, p.layerShards(li)...)
+	for _, li := range sc.dirty {
+		p.addBytesScanned(li)
+		sc.shards = p.appendLayerShards(sc.shards, li)
 	}
-	return p.scanShards(sh)
+	return p.scanShards(sc.shards, sc)
 }
 
 // Recover zeroes every weight of every flagged group (de-interleaving back
@@ -292,13 +317,13 @@ func (p *Protector) recoverGroupLocked(g GroupID) int {
 	zeroed := 0
 	l := p.Model.Layers[g.Layer]
 	s := p.Schemes[g.Layer]
-	for _, i := range s.Members(g.Group, len(l.Q)) {
+	s.VisitMembers(g.Group, len(l.Q), func(_, i int) {
 		if l.Q[i] != 0 {
 			l.Q[i] = 0
 			zeroed++
 		}
 		l.SyncIndex(i)
-	}
+	})
 	// A zeroed group has checksum 0 → signature 0.
 	p.Golden[g.Layer][g.Group] = s.Binarize(0)
 	return zeroed
@@ -313,10 +338,14 @@ func (p *Protector) recoverGroupLocked(g GroupID) int {
 func (p *Protector) DetectAndRecover() (flagged []GroupID, zeroed int) {
 	p.clearDirty(-1)
 	p.stats.scans.Add(1)
+	p.addBytesScanned(-1)
 	ch := make(chan []GroupID, 1)
 	go func() {
+		sc := getScratch()
+		defer putScratch(sc)
 		for li := range p.Model.Layers {
-			ch <- p.scanShards(p.layerShards(li))
+			sc.shards = p.appendLayerShards(sc.shards[:0], li)
+			ch <- p.scanShards(sc.shards, sc)
 		}
 		close(ch)
 	}()

@@ -21,11 +21,11 @@ func (p *Protector) RefreshAll() {
 	for li, l := range p.Model.Layers {
 		p.Golden[li] = make([]uint8, p.Schemes[li].NumGroups(len(l.Q)))
 	}
-	sh := p.shards()
+	sh := p.appendShards(nil)
 	runTasks(p.poolSize(), len(sh), func(k int) {
 		s := sh[k]
-		copy(p.Golden[s.layer][s.lo:s.hi],
-			p.Schemes[s.layer].SignaturesRange(p.Model.Layers[s.layer].Q, s.lo, s.hi))
+		p.Schemes[s.layer].signaturesInto(p.Golden[s.layer][s.lo:s.hi],
+			p.Model.Layers[s.layer].Q, s.lo, s.hi)
 	})
 }
 

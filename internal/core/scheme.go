@@ -119,6 +119,33 @@ func (s Scheme) Members(j, l int) []int {
 	return out
 }
 
+// VisitMembers calls visit(t, i) for every weight index i of group j in
+// ascending position order t — the allocation-free form of Members, used
+// by the per-group checksum and the recovery zeroing paths where a
+// fresh index slice per group call would dominate the cost.
+func (s Scheme) VisitMembers(j, l int, visit func(t, i int)) {
+	n := s.NumGroups(l)
+	if !s.Interleave {
+		lo := j * s.G
+		hi := lo + s.G
+		if hi > l {
+			hi = l
+		}
+		for i := lo; i < hi; i++ {
+			visit(i-lo, i)
+		}
+		return
+	}
+	t := 0
+	for r := 0; r < s.G; r++ {
+		c := ((j-s.Offset*r)%n + n) % n
+		if i := r*n + c; i < l {
+			visit(t, i)
+			t++
+		}
+	}
+}
+
 // maskSign returns −1 or +1 for keystream position t: key bit 0 means the
 // weight enters the checksum two's-complemented (negated), per Algorithm 1.
 func (s Scheme) maskSign(t int) int32 {
@@ -129,12 +156,14 @@ func (s Scheme) maskSign(t int) int32 {
 }
 
 // Checksum computes the masked addition checksum M of group j over the
-// layer's quantized weights.
+// layer's quantized weights. It is the scalar, one-group-at-a-time
+// reference the SWAR kernels are property-tested against; it allocates
+// nothing.
 func (s Scheme) Checksum(q []int8, j int) int32 {
 	var m int32
-	for t, i := range s.Members(j, len(q)) {
+	s.VisitMembers(j, len(q), func(t, i int) {
 		m += s.maskSign(t) * int32(q[i])
-	}
+	})
 	return m
 }
 
@@ -159,10 +188,10 @@ func (s Scheme) Signature(q []int8, j int) uint8 {
 }
 
 // Signatures computes the signature of every group of a layer (the form
-// the run-time scan uses). It delegates to the row-segment kernel in
-// SignaturesRange, which replaces the historical per-weight div/mod single
-// pass with incremental column walking — ~4x faster at ResNet-18 scale and
-// bit-identical (property-tested against the per-group Checksum path).
+// the run-time scan uses). It delegates to SignaturesRange and thus the
+// SWAR kernel in swar.go, which consumes 8 int8 weights per uint64 load —
+// bit-identical to the per-group Checksum path (property-tested; the PR 1
+// scalar row-segment walk survives as SignaturesRangeRef).
 func (s Scheme) Signatures(q []int8) []uint8 {
 	return s.SignaturesRange(q, 0, s.NumGroups(len(q)))
 }

@@ -1,0 +1,44 @@
+package core
+
+import "sync"
+
+// scanScratch is the reusable working memory of one scan operation: the
+// shard list, the per-shard result table and the dirty-layer snapshot.
+// Instances cycle through a sync.Pool so steady-state ScanDirty and full
+// scans allocate nothing (verified by testing.AllocsPerRun in
+// swar_test.go); the checksum kernels themselves hold their accumulators
+// in registers and need no scratch at all. Flagged GroupID slices are the
+// one exception — they are freshly allocated because they escape to the
+// caller, and a clean scan never creates any.
+type scanScratch struct {
+	shards  []shard
+	results [][]GroupID
+	dirty   []int
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func getScratch() *scanScratch {
+	return scanScratchPool.Get().(*scanScratch)
+}
+
+// putScratch returns the scratch to the pool, dropping references to
+// flagged slices that escaped to callers so the pool does not pin them.
+func putScratch(sc *scanScratch) {
+	for i := range sc.results {
+		sc.results[i] = nil
+	}
+	sc.shards = sc.shards[:0]
+	sc.dirty = sc.dirty[:0]
+	scanScratchPool.Put(sc)
+}
+
+// resultsBuf returns a length-n per-shard result table backed by the
+// scratch, growing the backing array only on high-water marks.
+func (sc *scanScratch) resultsBuf(n int) [][]GroupID {
+	if cap(sc.results) < n {
+		sc.results = make([][]GroupID, n)
+	}
+	sc.results = sc.results[:n]
+	return sc.results
+}

@@ -14,51 +14,79 @@ type shard struct {
 	layer, lo, hi int
 }
 
-// layerShards splits one layer's group range into chunks of at most
-// shardGroups groups, in ascending group order.
-func (p *Protector) layerShards(li int) []shard {
+// appendLayerShards appends one layer's group range, split into chunks of
+// at most shardGroups groups in ascending group order, onto dst. Appending
+// into a caller-owned (pooled) slice keeps steady-state scans
+// allocation-free.
+func (p *Protector) appendLayerShards(dst []shard, li int) []shard {
 	sg := p.shardGroups
 	if sg <= 0 {
 		sg = DefaultShardGroups
 	}
 	n := p.Schemes[li].NumGroups(len(p.Model.Layers[li].Q))
-	out := make([]shard, 0, (n+sg-1)/sg)
 	for lo := 0; lo < n; lo += sg {
 		hi := lo + sg
 		if hi > n {
 			hi = n
 		}
-		out = append(out, shard{layer: li, lo: lo, hi: hi})
+		dst = append(dst, shard{layer: li, lo: lo, hi: hi})
 	}
-	return out
+	return dst
 }
 
-// shards splits every layer of the protected model, ordered by (layer, lo).
-func (p *Protector) shards() []shard {
-	var out []shard
+// appendShards appends every layer's shards onto dst, ordered by
+// (layer, lo).
+func (p *Protector) appendShards(dst []shard) []shard {
 	for li := range p.Model.Layers {
-		out = append(out, p.layerShards(li)...)
+		dst = p.appendLayerShards(dst, li)
 	}
-	return out
+	return dst
 }
 
 // SignaturesRange computes the signatures of groups [lo, hi) of a layer —
 // the per-shard unit of the parallel engine. It returns exactly
 // Signatures(q)[lo:hi]: the checksum of each group accumulates the same
 // terms in the same row order, so the parallel scan is byte-identical to
-// the sequential one. The interleaved path walks row segments (contiguous
-// in memory) rather than group member lists, keeping the per-shard access
-// pattern as cache-friendly as the full-layer single pass.
+// the sequential one. The heavy lifting is the SWAR kernel in swar.go,
+// which consumes 8 weights per uint64 load; see SignaturesRangeRef for the
+// retained scalar reference.
 func (s Scheme) SignaturesRange(q []int8, lo, hi int) []uint8 {
-	l := len(q)
-	s.Validate(l)
-	n := s.NumGroups(l)
-	if hi > n {
-		hi = n
-	}
-	if lo < 0 || lo >= hi {
+	lo, hi, ok := s.clampRange(q, lo, hi)
+	if !ok {
 		return nil
 	}
+	out := make([]uint8, hi-lo)
+	s.checksumRange(q, lo, hi, func(j int, m int32) {
+		out[j-lo] = s.Binarize(m)
+	})
+	return out
+}
+
+// signaturesInto computes the signatures of groups [lo, hi) directly into
+// dst (len hi−lo), allocating nothing — the form RefreshAll uses to write
+// golden signatures in place.
+func (s Scheme) signaturesInto(dst []uint8, q []int8, lo, hi int) {
+	lo, hi, ok := s.clampRange(q, lo, hi)
+	if !ok {
+		return
+	}
+	s.checksumRange(q, lo, hi, func(j int, m int32) {
+		dst[j-lo] = s.Binarize(m)
+	})
+}
+
+// SignaturesRangeRef is the scalar reference kernel: the PR 1 row-segment
+// walk, one multiply-add per weight. It is retained as the differential
+// baseline the SWAR kernel is property-tested against and as the
+// "old kernel" side of the scanscale before/after measurement; results are
+// bit-identical to SignaturesRange.
+func (s Scheme) SignaturesRangeRef(q []int8, lo, hi int) []uint8 {
+	lo, hi, ok := s.clampRange(q, lo, hi)
+	if !ok {
+		return nil
+	}
+	l := len(q)
+	n := s.NumGroups(l)
 	sums := make([]int32, hi-lo)
 	if !s.Interleave {
 		for j := lo; j < hi; j++ {
@@ -99,19 +127,46 @@ func (s Scheme) SignaturesRange(q []int8, lo, hi int) []uint8 {
 	return out
 }
 
-// scanShard recomputes one shard's signatures and compares them against the
-// golden slice, returning flagged groups in ascending group order.
+// clampRange validates the layer and normalizes a group range the way the
+// historical SignaturesRange did: hi clamped to NumGroups, empty or
+// inverted ranges rejected.
+func (s Scheme) clampRange(q []int8, lo, hi int) (int, int, bool) {
+	l := len(q)
+	s.Validate(l)
+	if n := s.NumGroups(l); hi > n {
+		hi = n
+	}
+	if lo < 0 || lo >= hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// scanShard recomputes one shard's signatures and compares them against
+// the golden slice as they are produced — no signature buffer is
+// materialized, so a clean shard allocates nothing. Flagged groups are
+// returned in ascending group order.
 func (p *Protector) scanShard(sh shard) []GroupID {
 	l := p.Model.Layers[sh.layer]
-	fresh := p.Schemes[sh.layer].SignaturesRange(l.Q, sh.lo, sh.hi)
-	golden := p.Golden[sh.layer][sh.lo:sh.hi]
+	s := p.Schemes[sh.layer]
+	golden := p.Golden[sh.layer]
 	var out []GroupID
-	for k := range fresh {
-		if fresh[k] != golden[k] {
-			out = append(out, GroupID{Layer: sh.layer, Group: sh.lo + k})
+	s.checksumRange(l.Q, sh.lo, sh.hi, func(j int, m int32) {
+		if s.Binarize(m) != golden[j] {
+			out = append(out, GroupID{Layer: sh.layer, Group: j})
 		}
-	}
+	})
 	return out
+}
+
+// scanShardGuarded scans one shard, under the layer's read lock when lock
+// is set (released on panic too, matching the fan-out path's defer).
+func (p *Protector) scanShardGuarded(sh shard, lock bool) []GroupID {
+	if lock {
+		p.guard.RLockLayer(sh.layer)
+		defer p.guard.RUnlockLayer(sh.layer)
+	}
+	return p.scanShard(sh)
 }
 
 // scanShards runs the shard list on the worker pool and merges the
@@ -121,26 +176,36 @@ func (p *Protector) scanShard(sh shard) []GroupID {
 // single-goroutine scan regardless of worker count or scheduling. On a
 // coordinated protector each shard reads its layer under the layer's read
 // lock, so scans may overlap inference fetches but never a recovery write.
-func (p *Protector) scanShards(sh []shard) []GroupID {
-	return p.runShards(sh, true)
+func (p *Protector) scanShards(sh []shard, sc *scanScratch) []GroupID {
+	return p.runShards(sh, sc, true)
 }
 
 // scanShardsLocked is the variant for callers that already hold the write
 // lock of every scanned layer (VerifyAndRecoverLayer): taking the read
 // lock again would self-deadlock, and exclusion is already guaranteed.
-func (p *Protector) scanShardsLocked(sh []shard) []GroupID {
-	return p.runShards(sh, false)
+func (p *Protector) scanShardsLocked(sh []shard, sc *scanScratch) []GroupID {
+	return p.runShards(sh, sc, false)
 }
 
-func (p *Protector) runShards(sh []shard, lock bool) []GroupID {
-	results := make([][]GroupID, len(sh))
-	runTasks(p.poolSize(), len(sh), func(k int) {
-		if lock {
-			p.guard.RLockLayer(sh[k].layer)
-			defer p.guard.RUnlockLayer(sh[k].layer)
+func (p *Protector) runShards(sh []shard, sc *scanScratch, lock bool) []GroupID {
+	results := sc.resultsBuf(len(sh))
+	if workers := p.poolSize(); workers <= 1 {
+		// Run the loop inline rather than through runTasks: its fan-out
+		// path captures the task closure in goroutines, so a closure
+		// shared with it would be heap-allocated even when only the
+		// sequential path runs, breaking the zero-alloc steady state.
+		for k := range sh {
+			results[k] = p.scanShardGuarded(sh[k], lock)
 		}
-		results[k] = p.scanShard(sh[k])
-	})
+	} else {
+		runTasks(workers, len(sh), func(k int) {
+			if lock {
+				p.guard.RLockLayer(sh[k].layer)
+				defer p.guard.RUnlockLayer(sh[k].layer)
+			}
+			results[k] = p.scanShard(sh[k])
+		})
+	}
 	var flagged []GroupID
 	for _, r := range results {
 		flagged = append(flagged, r...)

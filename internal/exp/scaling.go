@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -10,18 +12,45 @@ import (
 	"radar/internal/model"
 )
 
+// ScanRun is one worker-count sweep of the scan scaling experiment.
+type ScanRun struct {
+	// Workers is the pool size of this sweep.
+	Workers int `json:"workers"`
+	// Seconds is the wall-clock time of one full scan.
+	Seconds float64 `json:"seconds"`
+	// MBs is the resulting scan throughput (MB/s, one byte per weight).
+	MBs float64 `json:"mbps"`
+	// Speedup is relative to the workers=1 sweep.
+	Speedup float64 `json:"speedup"`
+}
+
+// ScanKernels is the single-thread before/after of the checksum kernel
+// rewrite: the retained PR 1 scalar row-walk (SignaturesRangeRef) against
+// the SWAR kernel, measured over the same weight image in the same
+// process. This is the machine-readable record of the kernel speedup the
+// perf trajectory tracks.
+type ScanKernels struct {
+	OldMBs     float64 `json:"old_mbps"`
+	NewMBs     float64 `json:"new_mbps"`
+	KernelGain float64 `json:"kernel_gain"`
+}
+
 // ScanScalingResult is the worker-count sweep of the parallel scan engine:
 // wall-clock scan time over a full ImageNet ResNet-18-scale weight image at
 // each pool size, with the flagged output checked identical across sweeps.
+// It is written as BENCH_scanscale.json (same machine-readable shape as
+// the servescale artifact) by radar-bench -exp scanscale.
 type ScanScalingResult struct {
 	// Weights is the scanned weight volume (bytes, one per int8 weight).
-	Weights int
+	Weights int `json:"weights"`
 	// Flagged is the number of corrupted groups every sweep must report.
-	Flagged int
-	// Workers lists the swept pool sizes.
-	Workers []int
-	// Times holds the per-sweep scan wall time, aligned with Workers.
-	Times []time.Duration
+	Flagged int `json:"flagged"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Runs holds one entry per swept pool size.
+	Runs []ScanRun `json:"runs"`
+	// Kernels is the single-thread old-vs-new checksum kernel comparison.
+	Kernels ScanKernels `json:"kernels"`
 }
 
 // ScanWorkerSweep returns the worker counts the scaling experiment and the
@@ -54,7 +83,9 @@ func ScanWorkerSweep() []int {
 // ResNet-18 ImageNet weight image (11.7M weights, the paper's G=512
 // deployment point) corrupted with scattered MSB flips. Every sweep must
 // flag the identical group list — the determinism contract of the sharded
-// engine — or the experiment panics.
+// engine — or the experiment panics. It also times the scalar reference
+// kernel against the SWAR kernel single-thread over the same image, the
+// old-vs-new record the perf trajectory tracks.
 func ScanScaling() ScanScalingResult {
 	m := model.SyntheticQuant(model.ResNet18ImageNetShapes())
 	cfg := core.DefaultConfig(512)
@@ -63,7 +94,8 @@ func ScanScaling() ScanScalingResult {
 
 	model.ScatterMSBFlips(m, 64)
 
-	res := ScanScalingResult{Weights: m.TotalWeights()}
+	res := ScanScalingResult{Weights: m.TotalWeights(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	mb := float64(res.Weights) / (1 << 20)
 	var want []core.GroupID
 	for _, w := range ScanWorkerSweep() {
 		p.SetWorkers(w)
@@ -75,12 +107,43 @@ func ScanScaling() ScanScalingResult {
 			res.Flagged = len(flagged)
 		} else if !sameGroups(want, flagged) {
 			panic(fmt.Sprintf("exp: workers=%d flagged %d groups, workers=%d flagged %d",
-				w, len(flagged), res.Workers[0], len(want)))
+				w, len(flagged), res.Runs[0].Workers, len(want)))
 		}
-		res.Workers = append(res.Workers, w)
-		res.Times = append(res.Times, dt)
+		res.Runs = append(res.Runs, ScanRun{
+			Workers: w,
+			Seconds: dt.Seconds(),
+			MBs:     mb / dt.Seconds(),
+		})
 	}
+	base := res.Runs[0].Seconds
+	for i := range res.Runs {
+		res.Runs[i].Speedup = base / res.Runs[i].Seconds
+	}
+	res.Kernels = scanKernels(p, mb)
 	return res
+}
+
+// scanKernels times one single-thread pass of the scalar reference kernel
+// and one of the SWAR kernel over every layer of the protected image.
+func scanKernels(p *core.Protector, mb float64) ScanKernels {
+	timeKernel := func(f func(s core.Scheme, q []int8) []uint8) float64 {
+		t0 := time.Now()
+		for li, l := range p.Model.Layers {
+			f(p.Schemes[li], l.Q)
+		}
+		return time.Since(t0).Seconds()
+	}
+	oldSec := timeKernel(func(s core.Scheme, q []int8) []uint8 {
+		return s.SignaturesRangeRef(q, 0, s.NumGroups(len(q)))
+	})
+	newSec := timeKernel(func(s core.Scheme, q []int8) []uint8 {
+		return s.Signatures(q)
+	})
+	return ScanKernels{
+		OldMBs:     mb / oldSec,
+		NewMBs:     mb / newSec,
+		KernelGain: oldSec / newSec,
+	}
 }
 
 func sameGroups(a, b []core.GroupID) bool {
@@ -95,21 +158,32 @@ func sameGroups(a, b []core.GroupID) bool {
 	return true
 }
 
-// Render prints the sweep with throughput and speedup over workers=1.
+// Render prints the sweep with throughput and speedup over workers=1,
+// plus the single-thread old/new kernel comparison.
 func (r ScanScalingResult) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Parallel scan scaling — ResNet-18 ImageNet image (%.1f MB, G=512, %d corrupted groups)\n",
-		float64(r.Weights)/(1<<20), r.Flagged)
+	fmt.Fprintf(&sb, "Parallel scan scaling — ResNet-18 ImageNet image (%.1f MB, G=512, %d corrupted groups, GOMAXPROCS=%d)\n",
+		float64(r.Weights)/(1<<20), r.Flagged, r.GOMAXPROCS)
 	sb.WriteString(row("workers", "scan time", "MB/s", "speedup") + "\n")
-	base := r.Times[0].Seconds()
-	for i, w := range r.Workers {
-		sec := r.Times[i].Seconds()
+	for _, run := range r.Runs {
 		sb.WriteString(row(
-			fmt.Sprintf("%d", w),
-			r.Times[i].Round(time.Microsecond).String(),
-			fmt.Sprintf("%.0f", float64(r.Weights)/(1<<20)/sec),
-			fmt.Sprintf("%.2fx", base/sec),
+			fmt.Sprintf("%d", run.Workers),
+			(time.Duration(run.Seconds*float64(time.Second))).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", run.MBs),
+			fmt.Sprintf("%.2fx", run.Speedup),
 		) + "\n")
 	}
+	fmt.Fprintf(&sb, "checksum kernel (single thread): old %.0f MB/s -> new %.0f MB/s (%.1fx)\n",
+		r.Kernels.OldMBs, r.Kernels.NewMBs, r.Kernels.KernelGain)
 	return sb.String()
+}
+
+// WriteJSON writes the result as indented JSON — the machine-readable
+// BENCH artifact consumed by the benchmark trajectory.
+func (r ScanScalingResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

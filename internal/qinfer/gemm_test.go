@@ -1,0 +1,237 @@
+package qinfer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"radar/internal/model"
+)
+
+// randConv builds a qconv with randomized weights and folded-BN
+// parameters for the given geometry.
+func randConv(rng *rand.Rand, inC, outC, k, stride, pad int, relu bool) *qconv {
+	c := &qconv{
+		name:   fmt.Sprintf("rand%dx%dk%ds%dp%d", inC, outC, k, stride, pad),
+		w:      make([]int8, outC*inC*k*k),
+		wScale: 0.01 + rng.Float32()*0.1,
+		inC:    inC, outC: outC,
+		k: k, stride: stride, pad: pad,
+		bn:       foldedBN{a: make([]float32, outC), b: make([]float32, outC)},
+		relu:     relu,
+		outScale: 0.05 + rng.Float32()*0.2,
+	}
+	for i := range c.w {
+		c.w[i] = int8(rng.Intn(256) - 128)
+	}
+	for i := 0; i < outC; i++ {
+		c.bn.a[i] = 0.5 + rng.Float32()
+		c.bn.b[i] = rng.Float32() - 0.5
+	}
+	return c
+}
+
+func randInput(rng *rand.Rand, n, ch, h, w int) *QTensor {
+	x := NewQTensor(0.02+rng.Float32()*0.1, n, ch, h, w)
+	for i := range x.Q {
+		x.Q[i] = int8(rng.Intn(256) - 128)
+	}
+	return x
+}
+
+// mustMatch fails unless the GEMM and reference outputs are bit-identical.
+func mustMatch(t *testing.T, label string, got, want *QTensor) {
+	t.Helper()
+	if fmt.Sprint(got.Shape) != fmt.Sprint(want.Shape) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape, want.Shape)
+	}
+	for i := range want.Q {
+		if got.Q[i] != want.Q[i] {
+			t.Fatalf("%s: output %d is %d, reference %d", label, i, got.Q[i], want.Q[i])
+		}
+	}
+}
+
+// TestConvGEMMMatchesReferenceRandom pins the im2col+GEMM conv against
+// the 7-loop reference on randomized geometries: 1×1 through 7×7 kernels,
+// strides, pads (including pad ≥ kernel reach), odd spatial sizes that
+// make stride-2 outputs ragged, and batches that exercise scratch reuse
+// across images.
+func TestConvGEMMMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sc := new(engineScratch)
+	for trial := 0; trial < 60; trial++ {
+		k := []int{1, 3, 3, 5, 7}[rng.Intn(5)]
+		c := randConv(rng,
+			1+rng.Intn(9),    // inC
+			1+rng.Intn(11),   // outC (exercises 4×4 edge blocks)
+			k,                // kernel
+			1+rng.Intn(2),    // stride
+			rng.Intn(k+1),    // pad
+			rng.Intn(2) == 0, // relu
+		)
+		h := c.k + rng.Intn(10)
+		w := c.k + rng.Intn(10)
+		x := randInput(rng, 1+rng.Intn(3), c.inC, h, w)
+		got := c.compute(x, sc)
+		want := c.computeRef(x)
+		mustMatch(t, c.name+fmt.Sprintf("/h%dw%d", h, w), got, want)
+	}
+}
+
+// TestConvGEMMMatchesReferenceCheckpoints pins the GEMM path against the
+// reference on every conv stage of the trained checkpoint models — all
+// layer shapes of resnet20s.gob and the tiny zoo model — at a few input
+// resolutions, so every deployed (inC, outC, k, stride, pad) combination
+// is covered bit-for-bit.
+func TestConvGEMMMatchesReferenceCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	sc := new(engineScratch)
+	for _, spec := range []model.Spec{model.TinySpec(), model.ResNet20sSpec()} {
+		b := model.Load(spec)
+		calib, _ := b.Attack.Batch(0, 32)
+		eng, err := Compile(b.Net, b.QModel, calib)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", spec.Name, err)
+		}
+		var convs []*qconv
+		convs = append(convs, eng.stem)
+		for _, blk := range eng.blocks {
+			convs = append(convs, blk.conv1, blk.conv2)
+			if blk.down != nil {
+				convs = append(convs, blk.down)
+			}
+		}
+		for ci, c := range convs {
+			for _, hw := range []int{c.k, 8, 11} {
+				x := randInput(rng, 2, c.inC, hw, hw)
+				got := c.compute(x, sc)
+				want := c.computeRef(x)
+				mustMatch(t, fmt.Sprintf("%s conv %d (%s) hw=%d", spec.Name, ci, c.name, hw), got, want)
+			}
+		}
+	}
+}
+
+// TestGEMMKernelEdges drives gemmInt8 directly across the 4×4 blocking
+// edges (M, P ≡ 0..3 mod 4, K including 0 and 1).
+func TestGEMMKernelEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 9} {
+		for _, p := range []int{1, 2, 3, 4, 6, 8, 13} {
+			for _, k := range []int{1, 2, 9, 27} {
+				a := make([]int8, m*k)
+				b := make([]int8, p*k)
+				for i := range a {
+					a[i] = int8(rng.Intn(256) - 128)
+				}
+				for i := range b {
+					b[i] = int8(rng.Intn(256) - 128)
+				}
+				got := make([]int32, m*p)
+				gemmInt8(a, b, got, m, k, p)
+				for mi := 0; mi < m; mi++ {
+					for pi := 0; pi < p; pi++ {
+						var want int32
+						for ki := 0; ki < k; ki++ {
+							want += int32(a[mi*k+ki]) * int32(b[pi*k+ki])
+						}
+						if got[mi*p+pi] != want {
+							t.Fatalf("M=%d K=%d P=%d: out[%d,%d] = %d, want %d", m, k, p, mi, pi, got[mi*p+pi], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentForwardIdentical runs Forward from many goroutines on one
+// engine — the serving deployment shape — and checks every result equals
+// the sequential one, which exercises the scratch pool for aliasing bugs
+// (and races, under -race in CI).
+func TestConcurrentForwardIdentical(t *testing.T) {
+	b, eng := compileTiny(t)
+	x, _ := b.Test.Batch(0, 4)
+	want := eng.Forward(x)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				out := eng.Forward(x)
+				for i := range want.Data {
+					if out.Data[i] != want.Data[i] {
+						errs <- fmt.Errorf("concurrent Forward diverges at %d: %v vs %v", i, out.Data[i], want.Data[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzConvGEMM is the differential fuzz target for the conv kernel:
+// arbitrary bytes become weights and activations over a small randomized
+// geometry, GEMM vs the reference loop. CI runs the seed corpus under
+// -race; `go test -fuzz=FuzzConvGEMM ./internal/qinfer` explores further.
+func FuzzConvGEMM(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 250, 130}, uint8(3), uint8(2), uint8(1), uint8(1), uint8(5))
+	f.Add([]byte{255, 0, 128, 64}, uint8(1), uint8(1), uint8(2), uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, k8, stride8, pad8, relu8, hw8 uint8) {
+		k := 1 + int(k8)%7
+		stride := 1 + int(stride8)%2
+		pad := int(pad8) % (k + 1)
+		h := k + int(hw8)%8
+		if len(raw) == 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(int64(len(raw))))
+		c := randConv(rng, 2, 3, k, stride, pad, relu8%2 == 0)
+		// Overlay fuzz bytes onto the deterministic weights and input.
+		for i := range c.w {
+			c.w[i] = int8(raw[i%len(raw)] + byte(i))
+		}
+		x := randInput(rng, 1, 2, h, h)
+		for i := range x.Q {
+			x.Q[i] = int8(raw[(i*7)%len(raw)] ^ byte(i))
+		}
+		got := c.compute(x, new(engineScratch))
+		want := c.computeRef(x)
+		mustMatch(t, c.name, got, want)
+	})
+}
+
+// BenchmarkConvGEMM / BenchmarkConvRef measure one mid-network ResNet
+// conv stage (64→64 3×3 on a 16×16 plane) through the GEMM path and the
+// reference loop — the per-stage speedup behind the serving gains.
+func BenchmarkConvGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	c := randConv(rng, 64, 64, 3, 1, 1, true)
+	x := randInput(rng, 1, 64, 16, 16)
+	sc := new(engineScratch)
+	b.SetBytes(int64(len(c.w)) * 16 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.compute(x, sc)
+	}
+}
+
+func BenchmarkConvRef(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	c := randConv(rng, 64, 64, 3, 1, 1, true)
+	x := randInput(rng, 1, 64, 16, 16)
+	b.SetBytes(int64(len(c.w)) * 16 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.computeRef(x)
+	}
+}

@@ -17,6 +17,7 @@ package qinfer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"radar/internal/nn"
 	"radar/internal/quant"
@@ -104,7 +105,7 @@ type qconv struct {
 // The engine's fetch hook (if any) runs first — before the stage touches
 // a single weight — and the stage then holds the layer's read lock (if a
 // weight guard is attached) for the duration of the convolution.
-func (c *qconv) forward(x *QTensor, e *Engine) *QTensor {
+func (c *qconv) forward(x *QTensor, e *Engine, sc *engineScratch) *QTensor {
 	if e.hook != nil {
 		e.hook(c.qLayer)
 	}
@@ -112,11 +113,54 @@ func (c *qconv) forward(x *QTensor, e *Engine) *QTensor {
 		e.guard.RLockLayer(c.qLayer)
 		defer e.guard.RUnlockLayer(c.qLayer)
 	}
-	return c.compute(x)
+	return c.compute(x, sc)
 }
 
-// compute is the raw int8 convolution, free of any serving coordination.
-func (c *qconv) compute(x *QTensor) *QTensor {
+// compute is the raw int8 convolution, free of any serving coordination:
+// an im2col pack into the scratch patch matrix followed by the blocked
+// int8 GEMM (see gemm.go), then the per-channel BN/ReLU requantization.
+// Output is bit-identical to computeRef, the retained reference loop.
+func (c *qconv) compute(x *QTensor, sc *engineScratch) *QTensor {
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ch != c.inC {
+		panic("qinfer: channel mismatch in " + c.name)
+	}
+	outH := tensor.ConvOutSize(h, c.k, c.stride, c.pad)
+	outW := tensor.ConvOutSize(w, c.k, c.stride, c.pad)
+	out := NewQTensor(c.outScale, n, c.outC, outH, outW)
+	kCols := c.inC * c.k * c.k
+	plane := outH * outW
+	cols := sc.colsBuf(plane * kCols)
+	acc := sc.accBuf(c.outC * plane)
+	// Effective multiplier from int32 accumulator to real value.
+	accScale := float64(c.wScale) * float64(x.Scale)
+	outScale := float64(c.outScale)
+	for img := 0; img < n; img++ {
+		c.im2col(x.Q[img*ch*h*w:][:ch*h*w], h, w, outH, outW, cols)
+		gemmInt8(c.w, cols, acc, c.outC, kCols, plane)
+		outBase := img * c.outC * plane
+		for oc := 0; oc < c.outC; oc++ {
+			a := float64(c.bn.a[oc])
+			bb := float64(c.bn.b[oc])
+			accRow := acc[oc*plane:][:plane]
+			outRow := out.Q[outBase+oc*plane:][:plane]
+			for p := 0; p < plane; p++ {
+				v := a*(accScale*float64(accRow[p])) + bb
+				if c.relu && v < 0 {
+					v = 0
+				}
+				outRow[p] = clampQ(v / outScale)
+			}
+		}
+	}
+	return out
+}
+
+// computeRef is the historical 7-deep nested conv loop, kept verbatim as
+// the bit-exactness reference for the GEMM path: the differential
+// property tests in gemm_test.go pin compute against it on every
+// checkpoint layer shape and on randomized geometries.
+func (c *qconv) computeRef(x *QTensor) *QTensor {
 	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if ch != c.inC {
 		panic("qinfer: channel mismatch in " + c.name)
@@ -176,12 +220,12 @@ type qblock struct {
 	outScale     float32
 }
 
-func (b *qblock) forward(x *QTensor, e *Engine) *QTensor {
-	main := b.conv1.forward(x, e)
-	main = b.conv2.forward(main, e)
+func (b *qblock) forward(x *QTensor, e *Engine, sc *engineScratch) *QTensor {
+	main := b.conv1.forward(x, e, sc)
+	main = b.conv2.forward(main, e, sc)
 	side := x
 	if b.down != nil {
-		side = b.down.forward(x, e)
+		side = b.down.forward(x, e, sc)
 	}
 	// Residual add in the real domain, then ReLU and requantize.
 	out := NewQTensor(b.outScale, main.Shape...)
@@ -215,6 +259,11 @@ type Engine struct {
 	// stage so recovery writes never race inference reads. See
 	// SetWeightGuard.
 	guard WeightGuard
+
+	// scratch pools the per-forward im2col/GEMM working buffers; see
+	// engineScratch. Safe for concurrent Forward calls — each checks out
+	// its own instance.
+	scratch sync.Pool
 }
 
 // FetchHook is called with the quantized-layer index (position in the
@@ -389,15 +438,17 @@ func (e *Engine) calibrate(net *nn.Sequential, calib *tensor.Tensor) {
 // Forward runs int8 inference on a float input batch (N, C, H, W) and
 // returns float logits (N, classes).
 func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	q := QuantizeActivations(x, e.inScale)
-	q = e.stem.forward(q, e)
+	q = e.stem.forward(q, e, sc)
 	if e.pool {
 		f := q.Dequantize()
 		pooled, _ := tensor.MaxPool2(f)
 		q = QuantizeActivations(pooled, q.Scale)
 	}
 	for _, b := range e.blocks {
-		q = b.forward(q, e)
+		q = b.forward(q, e, sc)
 	}
 	// Global average pool in the real domain, then the float classifier.
 	f := q.Dequantize()

@@ -95,6 +95,11 @@ type Snapshot struct {
 	GroupsFlagged   int64 `json:"groups_flagged"`
 	GroupsRecovered int64 `json:"groups_recovered"`
 	WeightsZeroed   int64 `json:"weights_zeroed"`
+	// ScanBytes counts weight bytes covered by all protection scans;
+	// ScanBytesPerSec divides it by uptime — the sustained scan throughput
+	// the SWAR kernel delivers on this server.
+	ScanBytes       int64   `json:"scan_bytes"`
+	ScanBytesPerSec float64 `json:"scan_bytes_per_sec"`
 }
 
 // Snapshot exports the current metrics. Safe to call at any time,
@@ -119,9 +124,13 @@ func (s *Server) Snapshot() Snapshot {
 		GroupsFlagged:   st.GroupsFlagged,
 		GroupsRecovered: st.GroupsRecovered,
 		WeightsZeroed:   st.WeightsZeroed,
+		ScanBytes:       st.BytesScanned,
 	}
 	if !s.start.IsZero() {
 		snap.UptimeSeconds = time.Since(s.start).Seconds()
+		if snap.UptimeSeconds > 0 {
+			snap.ScanBytesPerSec = float64(snap.ScanBytes) / snap.UptimeSeconds
+		}
 	}
 	if snap.Batches > 0 {
 		snap.AvgBatch = float64(s.met.batched.Load()) / float64(snap.Batches)

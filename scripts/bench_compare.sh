@@ -1,0 +1,72 @@
+#!/bin/sh
+# bench_compare.sh [REF] — run the benchmark suite on a base git ref and on
+# the working tree, then print a benchstat-style before/after table
+# (old ns/op, new ns/op, delta, plus MB/s where reported).
+#
+# The base ref is checked out into a temporary git worktree, so the working
+# tree (including uncommitted changes) is never touched. Environment knobs:
+#   BENCH  benchmark regexp             (default: Scan|Serve|Conv|Signature)
+#   COUNT  -count per side              (default: 3; best-of is compared)
+#   PKGS   packages to benchmark        (default: . ./internal/qinfer/)
+set -eu
+
+REF=${1:-HEAD~1}
+BENCH=${BENCH:-'Scan|Serve|Conv|Signature'}
+COUNT=${COUNT:-3}
+PKGS=${PKGS:-'. ./internal/qinfer/'}
+
+root=$(git rev-parse --show-toplevel)
+cd "$root"
+refid=$(git rev-parse --short "$REF")
+work=$(mktemp -d)
+old_out="$work/old.bench"
+new_out="$work/new.bench"
+trap 'git worktree remove --force "$work/base" >/dev/null 2>&1 || true; rm -rf "$work"' EXIT
+
+echo "== base: $REF ($refid) =="
+git worktree add --detach "$work/base" "$REF" >/dev/null
+# Benchmarks need the cached checkpoints; share them with the base tree.
+if [ -d testdata ] && [ ! -e "$work/base/testdata" ]; then
+	rm -rf "$work/base/testdata"
+	ln -s "$root/testdata" "$work/base/testdata"
+fi
+if ! (cd "$work/base" && go test -run '^$' -bench "$BENCH" -benchtime 1s -count "$COUNT" $PKGS) > "$old_out" 2>"$work/old.err"; then
+	echo "error: benchmarks failed on base ref $REF:" >&2
+	cat "$work/old.err" >&2
+	exit 1
+fi
+grep -c '^Benchmark' "$old_out" | xargs echo "  benchmarks:"
+
+echo "== head: working tree =="
+if ! go test -run '^$' -bench "$BENCH" -benchtime 1s -count "$COUNT" $PKGS > "$new_out" 2>"$work/new.err"; then
+	echo "error: benchmarks failed on the working tree:" >&2
+	cat "$work/new.err" >&2
+	exit 1
+fi
+grep -c '^Benchmark' "$new_out" | xargs echo "  benchmarks:"
+
+# An empty side would silently skew the awk join below.
+[ -s "$old_out" ] && [ -s "$new_out" ] || { echo "error: empty benchmark output" >&2; exit 1; }
+
+echo
+awk '
+function best(map, name, v) { if (!(name in map) || v < map[name]) map[name] = v }
+FNR == 1 { side++ }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") { ns = $i + 0 }
+	for (i = 2; i <= NF; i++) if ($(i+1) == "MB/s") { mb = $i + 0 }
+	if (side == 1) { best(oldNs, name, ns); if (mb) { if (!(name in oldMb) || mb > oldMb[name]) oldMb[name] = mb } }
+	else          { best(newNs, name, ns); if (mb) { if (!(name in newMb) || mb > newMb[name]) newMb[name] = mb }
+	                if (!(name in seen)) { order[++n] = name; seen[name] = 1 } }
+	mb = 0
+}
+END {
+	printf "%-52s %14s %14s %9s %10s\n", "benchmark (best of runs)", "old ns/op", "new ns/op", "delta", "new MB/s"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		if (!(name in oldNs)) { printf "%-52s %14s %14.0f %9s %10s\n", name, "-", newNs[name], "new", newMb[name] ? sprintf("%.0f", newMb[name]) : ""; continue }
+		d = (oldNs[name] - newNs[name]) / oldNs[name] * 100
+		printf "%-52s %14.0f %14.0f %+8.1f%% %10s\n", name, oldNs[name], newNs[name], d, (name in newMb) ? sprintf("%.0f", newMb[name]) : ""
+	}
+}' "$old_out" "$new_out"
