@@ -1,24 +1,34 @@
-// Command radar-serve boots the protected inference server: an int8
-// engine compiled from a zoo model, wrapped in RADAR protection, a request
-// batcher, a background scrubber and (by default) the verified weight-
-// fetch path, all behind a small HTTP API.
+// Command radar-serve boots the protected inference service: one or more
+// int8 engines compiled from zoo models, each wrapped in RADAR protection
+// with its own request batcher, background scrubber and (by default)
+// verified weight-fetch path, all behind the versioned HTTP control
+// plane.
 //
 // Usage:
 //
-//	radar-serve -model tiny|resnet20s|resnet18s [-addr :8080] [-g 8]
-//	            [-batch 8] [-batch-latency 2ms] [-workers N] [-queue 256]
-//	            [-verify] [-scrub 100ms] [-scrub-full-every 8]
-//	            [-scan-workers N]
+//	radar-serve -model tiny                               # single model
+//	radar-serve -model a=tiny -model b=resnet20s          # multi-model
+//	            [-addr :8080] [-g 8] [-batch 8] [-batch-latency 2ms]
+//	            [-workers N] [-queue 256] [-verify] [-scrub 100ms]
+//	            [-scrub-full-every 8] [-scan-workers N] [-jobs 1024]
 //
-// Endpoints:
+// -model is repeatable; "name=zoo" serves zoo model zoo under name, and a
+// bare "zoo" uses the zoo name itself. The tuning flags apply to every
+// model (each still gets its own independent queue, workers and scrubber).
 //
-//	POST /infer   {"input":[...]} or {"inputs":[[...],...]} (+optional "shape":[C,H,W])
-//	GET  /healthz liveness, model identity, protection settings
-//	GET  /metrics requests, batches, scrub cycles, verify cache stats,
-//	              groups flagged/zeroed, p50/p99 latency — as JSON
+// Endpoints (see the README "Serving" section for curl examples):
+//
+//	POST /v1/models/{name}/infer  sync inference
+//	POST /v1/models/{name}/jobs   async job submit → 202 + job ID
+//	GET  /v1/jobs/{id}            poll a job
+//	GET  /v1/models               hosted models, health, live metrics
+//	POST /v1/admin/scrub          force a scrub cycle now
+//	POST /v1/admin/rekey          rotate protection secrets live
+//	POST /infer, GET /healthz, GET /metrics   deprecated pre-v1 shims
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the HTTP listener drains,
-// queued requests are answered, then the scrubber stops.
+// queued requests (including pending jobs) are answered, then the
+// scrubbers stop.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,65 +49,103 @@ import (
 	"radar/internal/serve"
 )
 
+// modelFlag collects repeatable -model values ("zoo" or "name=zoo").
+type modelFlag []string
+
+func (m *modelFlag) String() string { return strings.Join(*m, ",") }
+func (m *modelFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
+	var models modelFlag
+	flag.Var(&models, "model", "zoo model to serve: tiny, resnet20s or resnet18s, optionally as name=zoo; repeatable (checkpoints load from testdata/models)")
 	var (
-		name      = flag.String("model", "resnet20s", "zoo model: tiny, resnet20s or resnet18s (checkpoints load from testdata/models)")
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		g         = flag.Int("g", 8, "RADAR group size (paper: 8 for ResNet-20, 512 for ResNet-18)")
 		batch     = flag.Int("batch", 8, "max requests per inference batch")
 		batchLat  = flag.Duration("batch-latency", 2*time.Millisecond, "max time a request waits for its batch to fill")
-		workers   = flag.Int("workers", 0, "inference workers (0 = one per CPU)")
-		queue     = flag.Int("queue", 256, "pending-request queue depth")
+		workers   = flag.Int("workers", 0, "inference workers per model (0 = one per CPU)")
+		queue     = flag.Int("queue", 256, "pending-request queue depth per model")
 		verify    = flag.Bool("verify", true, "verify each layer's signatures at weight-fetch time (embedded detection)")
-		scrub     = flag.Duration("scrub", 100*time.Millisecond, "background scrub interval (0 disables)")
+		scrub     = flag.Duration("scrub", 100*time.Millisecond, "background scrub interval per model (0 disables)")
 		scrubFull = flag.Int("scrub-full-every", 8, "every Nth scrub cycle is a full scan")
-		scanWk    = flag.Int("scan-workers", 0, "scan engine worker pool (0 = one per CPU)")
+		scanWk    = flag.Int("scan-workers", 0, "scan engine worker pool per model (0 = one per CPU)")
+		jobs      = flag.Int("jobs", serve.DefaultJobCapacity, "async job table capacity")
 	)
 	flag.Parse()
-
-	var spec model.Spec
-	switch *name {
-	case "tiny":
-		spec = model.TinySpec()
-	case "resnet20s":
-		spec = model.ResNet20sSpec()
-	case "resnet18s":
-		spec = model.ResNet18sSpec()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *name)
-		os.Exit(2)
+	if len(models) == 0 {
+		models = modelFlag{"resnet20s"}
 	}
 
-	log.Printf("loading %s (training on first use; cached under testdata/models)", spec.Name)
-	bundle := model.Load(spec)
-	calib, _ := bundle.Attack.Batch(0, 64)
-	eng, err := qinfer.Compile(bundle.Net, bundle.QModel, calib)
+	specOf := func(zoo string) (model.Spec, bool) {
+		switch zoo {
+		case "tiny":
+			return model.TinySpec(), true
+		case "resnet20s":
+			return model.ResNet20sSpec(), true
+		case "resnet18s":
+			return model.ResNet18sSpec(), true
+		}
+		return model.Spec{}, false
+	}
+
+	opts := []serve.ServiceOption{serve.WithJobCapacity(*jobs)}
+	type hosted struct {
+		name string
+		spec model.Spec
+	}
+	var hostedModels []hosted
+	for _, mv := range models {
+		name, zoo := mv, mv
+		if eq := strings.IndexByte(mv, '='); eq >= 0 {
+			name, zoo = mv[:eq], mv[eq+1:]
+		}
+		spec, ok := specOf(zoo)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown zoo model %q in -model %q\n", zoo, mv)
+			os.Exit(2)
+		}
+		log.Printf("loading %s as %q (training on first use; cached under testdata/models)", spec.Name, name)
+		bundle := model.Load(spec)
+		calib, _ := bundle.Attack.Batch(0, 64)
+		eng, err := qinfer.Compile(bundle.Net, bundle.QModel, calib)
+		if err != nil {
+			log.Fatalf("compile int8 engine for %q: %v", name, err)
+		}
+		pcfg := core.DefaultConfig(*g)
+		pcfg.Workers = *scanWk
+		prot := core.Protect(bundle.QModel, pcfg)
+		log.Printf("model %q: %d layers, %d groups (G=%d), clean accuracy %s",
+			name, len(bundle.QModel.Layers), prot.NumGroups(), *g, bundle.MustClean())
+
+		opts = append(opts, serve.WithModel(name, eng, prot, serve.WithConfig(serve.Config{
+			MaxBatch:       *batch,
+			MaxLatency:     *batchLat,
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			VerifiedFetch:  *verify,
+			ScrubInterval:  *scrub,
+			ScrubFullEvery: *scrubFull,
+			InputShape:     []int{spec.Data.Channels, spec.Data.Size, spec.Data.Size},
+		})))
+		hostedModels = append(hostedModels, hosted{name: name, spec: spec})
+	}
+
+	svc, err := serve.Open(opts...)
 	if err != nil {
-		log.Fatalf("compile int8 engine: %v", err)
+		log.Fatalf("open service: %v", err)
 	}
 
-	pcfg := core.DefaultConfig(*g)
-	pcfg.Workers = *scanWk
-	prot := core.Protect(bundle.QModel, pcfg)
-
-	cfg := serve.Config{
-		MaxBatch:       *batch,
-		MaxLatency:     *batchLat,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		VerifiedFetch:  *verify,
-		ScrubInterval:  *scrub,
-		ScrubFullEvery: *scrubFull,
-		InputShape:     []int{spec.Data.Channels, spec.Data.Size, spec.Data.Size},
-	}
-	srv := serve.New(eng, prot, cfg)
-	srv.Start()
-
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
-		log.Printf("serving %s on %s — %d layers, %d groups (G=%d), clean accuracy %s, verify=%v scrub=%v",
-			spec.Name, *addr, len(bundle.QModel.Layers), prot.NumGroups(), *g,
-			bundle.MustClean(), *verify, *scrub)
+		names := make([]string, len(hostedModels))
+		for i, h := range hostedModels {
+			names[i] = h.name
+		}
+		log.Printf("serving %d model(s) [%s] on %s — verify=%v scrub=%v jobs=%d",
+			len(hostedModels), strings.Join(names, ", "), *addr, *verify, *scrub, *jobs)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("http: %v", err)
 		}
@@ -111,8 +160,10 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	srv.Stop()
-	snap := srv.Snapshot()
-	log.Printf("served %d requests in %d batches; scrub cycles %d; groups flagged %d, recovered %d",
-		snap.Requests, snap.Batches, snap.ScrubCycles, snap.GroupsFlagged, snap.GroupsRecovered)
+	svc.Close()
+	for _, info := range svc.Models() {
+		m := info.Metrics
+		log.Printf("model %q: served %d requests in %d batches; scrub cycles %d; rekeys %d; groups flagged %d, recovered %d",
+			info.Name, m.Requests, m.Batches, m.ScrubCycles, m.Rekeys, m.GroupsFlagged, m.GroupsRecovered)
+	}
 }

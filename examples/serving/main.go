@@ -1,13 +1,16 @@
-// Serving under fire: the protected inference server handling concurrent
-// traffic while a rowhammer adversary repeatedly mounts an MSB-flip
-// profile against the live weight image. The batcher coalesces requests,
-// the verified weight-fetch path re-checks written layers right before
-// their convs execute, and the background scrubber sweeps up anything the
-// fetch path has not touched yet — traffic never stops, and every attack
-// round is detected and recovered.
+// Serving under fire, v1 edition: one protected inference service hosting
+// two models — the ResNet-20 substitute and the tiny CNN — while a
+// rowhammer adversary repeatedly mounts an MSB-flip profile against the
+// live ResNet-20 weight image. Concurrent clients stream sync requests
+// with a per-request deadline, a slice of the traffic goes through the
+// async job API (Submit → Wait), and halfway through the run an admin
+// rekey rotates the protection secrets without stopping traffic. Each
+// model has its own batcher, scrubber and verified-fetch verifier; every
+// attack round is detected and recovered.
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -22,20 +25,31 @@ import (
 	"radar/internal/tensor"
 )
 
-func main() {
-	victim := model.Load(model.ResNet20sSpec())
-	calib, _ := victim.Attack.Batch(0, 64)
-	eng, err := qinfer.Compile(victim.Net, victim.QModel, calib)
+func compile(b *model.Bundle) (*qinfer.Engine, *core.Protector) {
+	calib, _ := b.Attack.Batch(0, 64)
+	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
 	if err != nil {
 		panic(err)
 	}
-	prot := core.Protect(victim.QModel, core.DefaultConfig(8))
+	return eng, core.Protect(b.QModel, core.DefaultConfig(8))
+}
 
-	cfg := serve.DefaultConfig()
-	cfg.ScrubInterval = 5 * time.Millisecond
-	srv := serve.New(eng, prot, cfg)
-	srv.Start()
-	defer srv.Stop()
+func main() {
+	victim := model.Load(model.ResNet20sSpec())
+	vicEng, vicProt := compile(victim)
+	side := model.Load(model.TinySpec())
+	sideEng, sideProt := compile(side)
+
+	svc, err := serve.Open(
+		serve.WithModel("resnet20", vicEng, vicProt,
+			serve.WithScrub(5*time.Millisecond, 8)),
+		serve.WithModel("tiny", sideEng, sideProt,
+			serve.WithScrub(5*time.Millisecond, 8)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
 
 	// The adversary prepared a profile offline on its own copy of the
 	// model (white-box assumption) and mounts it through simulated DRAM.
@@ -45,7 +59,11 @@ func main() {
 	profile := attack.PBFA(attacker.QModel, attacker.Attack, acfg)
 	dram := rowhammer.New(victim.QModel, rowhammer.DefaultGeometry(), 1)
 
-	// Traffic: four clients, each streaming single-image requests.
+	// Traffic: four clients streaming single-image requests against the
+	// victim model, each with a 2s deadline; every eighth request rides
+	// the async job API instead of the sync path. A fifth client streams
+	// the tiny side model to show the routing front-end keeps the two
+	// weight images, scrubbers and metrics fully independent.
 	x, labels := victim.Test.Batch(0, 200)
 	vol := tensor.Volume(x.Shape[1:])
 	input := func(i int) *tensor.Tensor {
@@ -53,8 +71,15 @@ func main() {
 		copy(t.Data, x.Data[i*vol:(i+1)*vol])
 		return t
 	}
+	sx, _ := side.Test.Batch(0, 32)
+	svol := tensor.Volume(sx.Shape[1:])
+	sideInput := func(i int) *tensor.Tensor {
+		t := tensor.New(sx.Shape[1:]...)
+		copy(t.Data, sx.Data[(i%32)*svol:(i%32+1)*svol])
+		return t
+	}
 
-	var correct, total int64
+	var correct, total, asyncJobs, sideServed int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -68,7 +93,22 @@ func main() {
 					return
 				default:
 				}
-				res, err := srv.Infer(input(i % 200))
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				req := serve.Request{Model: "resnet20", Input: input(i % 200)}
+				var res serve.Result
+				var err error
+				if i%8 == 7 {
+					var id serve.JobID
+					if id, err = svc.Submit(ctx, req); err == nil {
+						res, err = svc.Wait(ctx, id)
+						mu.Lock()
+						asyncJobs++
+						mu.Unlock()
+					}
+				} else {
+					res, err = svc.Infer(ctx, req)
+				}
+				cancel()
 				if err != nil {
 					return
 				}
@@ -81,37 +121,65 @@ func main() {
 			}
 		}(c)
 	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Infer(context.Background(),
+				serve.Request{Model: "tiny", Input: sideInput(i)}); err != nil {
+				return
+			}
+			mu.Lock()
+			sideServed++
+			mu.Unlock()
+		}
+	}()
 
-	// Three attack rounds, 30ms apart, against the serving model.
+	// Three attack rounds, 30ms apart, against the serving resnet20 —
+	// with a live admin rekey between rounds two and three.
 	for round := 1; round <= 3; round++ {
 		time.Sleep(30 * time.Millisecond)
-		srv.Inject(func(m *quant.Model) {
+		svc.Inject("resnet20", func(m *quant.Model) {
 			dram.MountProfile(profile.Addresses())
 			dram.Refresh()
 		})
 		fmt.Printf("round %d: mounted %d flips against the live server\n",
 			round, len(profile.Addresses()))
+		if round == 2 {
+			reports, _ := svc.Rekey("resnet20")
+			fmt.Printf("admin rekey: model %s re-keyed live (pre-rekey sweep flagged %d, zeroed %d)\n",
+				reports[0].Model, reports[0].Flagged, reports[0].Zeroed)
+		}
 	}
 	time.Sleep(30 * time.Millisecond)
 	close(stop)
 	wg.Wait()
 
-	snap := srv.Snapshot()
+	snap, _ := svc.Snapshot("resnet20")
 	mu.Lock()
 	acc := float64(correct) / float64(total)
 	mu.Unlock()
-	fmt.Printf("\nserved %d requests in %d batches (avg batch %.1f) — accuracy under attack %.1f%% (clean %s)\n",
-		snap.Requests, snap.Batches, snap.AvgBatch, 100*acc, victim.MustClean())
-	fmt.Printf("scrubber: %d cycles, flagged %d, zeroed %d weights\n",
-		snap.ScrubCycles, snap.ScrubFlagged, snap.ScrubZeroed)
+	fmt.Printf("\nserved %d resnet20 requests (%d async jobs) in %d batches (avg batch %.1f) — accuracy under attack %.1f%% (clean %s)\n",
+		snap.Requests, asyncJobs, snap.Batches, snap.AvgBatch, 100*acc, victim.MustClean())
+	fmt.Printf("side model served %d requests, untouched by the attack\n", sideServed)
+	fmt.Printf("scrubber: %d cycles, flagged %d, zeroed %d weights; rekeys %d\n",
+		snap.ScrubCycles, snap.ScrubFlagged, snap.ScrubZeroed, snap.Rekeys)
 	fmt.Printf("verified fetch: %d cache hits, %d rescans, flagged %d\n",
 		snap.VerifyHits, snap.VerifyScans, snap.VerifyFlagged)
 	fmt.Printf("protector totals: %d scans, %d groups flagged, %d recovered, %d weights zeroed\n",
 		snap.ProtectorScans, snap.GroupsFlagged, snap.GroupsRecovered, snap.WeightsZeroed)
 
-	if flagged, _ := prot.DetectAndRecover(); len(flagged) == 0 {
+	if flagged, _ := vicProt.DetectAndRecover(); len(flagged) == 0 {
 		fmt.Println("final sweep: model clean — every attack round was recovered without stopping traffic")
 	} else {
 		fmt.Printf("final sweep flagged %d groups (now recovered)\n", len(flagged))
+	}
+	if flagged, _ := sideProt.DetectAndRecover(); len(flagged) == 0 {
+		fmt.Println("side model: clean throughout (independent guard, scrubber and metrics)")
 	}
 }

@@ -113,6 +113,32 @@ func (p *Protector) VerifyAndRecoverLayer(li int) (flagged []GroupID, zeroed int
 	return flagged, zeroed
 }
 
+// DetectAndRecoverExclusive is DetectAndRecover for a caller that already
+// holds exclusive access to the whole model (e.g. LayerGuard.LockAll): no
+// guard locks are taken, so it cannot deadlock against the caller's own
+// write exclusion. The serving layer's live rekey uses it to close the
+// window between the ordinary (guard-routed) pre-rekey scrub and the
+// golden-signature recompute — any flip that lands in that window is
+// repaired here, under the same exclusion the recompute runs in, instead
+// of being laundered into the fresh goldens.
+func (p *Protector) DetectAndRecoverExclusive() (flagged []GroupID, zeroed int) {
+	p.clearDirty(-1)
+	p.stats.scans.Add(1)
+	p.addBytesScanned(-1)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.shards = p.appendShards(sc.shards)
+	flagged = p.scanShardsLocked(sc.shards, sc)
+	for _, g := range flagged {
+		zeroed += p.recoverGroupLocked(g)
+	}
+	if len(flagged) > 0 {
+		p.stats.groupsRecovered.Add(int64(len(flagged)))
+		p.stats.weightsZeroed.Add(int64(zeroed))
+	}
+	return flagged, zeroed
+}
+
 // Stats is a snapshot of the protector's activity counters, the
 // scrubber-facing accounting a serving layer exports as metrics.
 type Stats struct {

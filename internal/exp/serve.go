@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -46,11 +47,29 @@ type ServeRun struct {
 	ResidualFlagged int `json:"residual_flagged"`
 }
 
+// ServeMultiModel is the multi-model scenario's result: N independently
+// protected models served from one Service (one scrubber + verifier per
+// model behind the routing front-end), concurrent clients spreading
+// traffic across all of them, and the adversary attacking every model.
+type ServeMultiModel struct {
+	// Models is how many models shared the process.
+	Models int `json:"models"`
+	// Requests / Seconds / RPS aggregate across all models.
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"rps"`
+	// AsyncJobs counts requests that went through the async job API
+	// (Submit/Wait) rather than sync Infer.
+	AsyncJobs int `json:"async_jobs"`
+	// PerModel holds each model's own flagged/residual accounting.
+	PerModel []ServeRun `json:"per_model"`
+}
+
 // ServeScalingResult is the serving benchmark: requests/sec of the
-// protected inference server with the scrubber and the verified
+// protected inference service with the scrubber and the verified
 // weight-fetch path toggled, while a rowhammer adversary flips MSBs
-// mid-traffic. It is the machine-readable seed of the BENCH_*.json
-// trajectory.
+// mid-traffic — plus the multi-model scenario. It is the machine-readable
+// seed of the BENCH_*.json trajectory.
 type ServeScalingResult struct {
 	// Model names the served zoo model.
 	Model string `json:"model"`
@@ -63,16 +82,20 @@ type ServeScalingResult struct {
 	// FlipsPerRound / AttackRounds describe the adversary.
 	FlipsPerRound int `json:"flips_per_round"`
 	AttackRounds  int `json:"attack_rounds"`
-	// Runs holds one entry per configuration.
+	// Runs holds one entry per single-model configuration.
 	Runs []ServeRun `json:"runs"`
+	// Multi is the multi-model scenario (all protections on).
+	Multi ServeMultiModel `json:"multi"`
 }
 
 // ServeScaling measures the serving subsystem end to end on the tiny zoo
-// model: four configurations (unprotected, scrubber-only, verified-fetch-
-// only, both) each serve the same traffic volume from concurrent clients
-// while an adversary mounts MSB flips every few requests. Off-
-// configurations measure the protection's overhead honestly: the attack
-// still runs, the defense just doesn't.
+// model: four single-model configurations (unprotected, scrubber-only,
+// verified-fetch-only, both) each serve the same traffic volume from
+// concurrent clients while an adversary mounts MSB flips every few
+// requests; then the multi-model scenario serves the same total volume
+// across two fully-protected models in one Service, mixing sync inference
+// with async jobs. Off-configurations measure the protection's overhead
+// honestly: the attack still runs, the defense just doesn't.
 func ServeScaling() ServeScalingResult {
 	const (
 		clients       = 4
@@ -101,10 +124,12 @@ func ServeScaling() ServeScalingResult {
 		res.Runs = append(res.Runs, serveOneRun(c.name, c.scrub, c.verify,
 			clients, perClient, flipsPerRound, attackEvery, &res.AttackRounds))
 	}
+	res.Multi = serveMultiRun(2, clients, perClient, flipsPerRound, attackEvery)
 	return res
 }
 
-func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRound, attackEvery int, rounds *int) ServeRun {
+// tinyServeModel loads an independent tiny bundle and wraps it for serving.
+func tinyServeModel(scrub, verify bool) (*model.Bundle, *qinfer.Engine, *core.Protector, serve.Config) {
 	b := model.Load(model.TinySpec())
 	calib, _ := b.Attack.Batch(0, 64)
 	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
@@ -112,7 +137,6 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 		panic(err)
 	}
 	prot := core.Protect(b.QModel, core.DefaultConfig(8))
-
 	cfg := serve.DefaultConfig()
 	cfg.VerifiedFetch = verify
 	if scrub {
@@ -120,8 +144,15 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 	} else {
 		cfg.ScrubInterval = 0
 	}
-	srv := serve.New(eng, prot, cfg)
-	srv.Start()
+	return b, eng, prot, cfg
+}
+
+func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRound, attackEvery int, rounds *int) ServeRun {
+	b, eng, prot, cfg := tinyServeModel(scrub, verify)
+	svc, err := serve.Open(serve.WithModel("tiny", eng, prot, serve.WithConfig(cfg)))
+	if err != nil {
+		panic(err)
+	}
 
 	// Adversary state: a stream of MSB flips mounted through simulated
 	// DRAM every attackEvery answered requests.
@@ -137,6 +168,7 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 		return t
 	}
 
+	ctx := context.Background()
 	var served int64
 	var mu sync.Mutex
 	attacks := 0
@@ -147,7 +179,7 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				if _, err := srv.Infer(input(c*perClient + i)); err != nil {
+				if _, err := svc.Infer(ctx, serve.Request{Input: input(c*perClient + i)}); err != nil {
 					return
 				}
 				mu.Lock()
@@ -157,7 +189,7 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 					batch := profiles[lo : lo+flipsPerRound]
 					attacks++
 					mu.Unlock()
-					srv.Inject(func(m *quant.Model) { dram.MountProfile(batch); dram.Refresh() })
+					svc.Inject("tiny", func(m *quant.Model) { dram.MountProfile(batch); dram.Refresh() })
 					continue
 				}
 				mu.Unlock()
@@ -166,8 +198,8 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 	}
 	wg.Wait()
 	dt := time.Since(t0)
-	snap := srv.Snapshot()
-	srv.Stop()
+	snap, _ := svc.Snapshot("tiny")
+	svc.Close()
 	*rounds = attacks
 
 	// Quiesced sweep: how much corruption survived the run? Stats are
@@ -190,6 +222,122 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 	}
 }
 
+// serveMultiRun is the multi-model scenario: n fully-protected tiny
+// models behind one Service, the same total traffic volume spread across
+// them (every fourth request via the async job API), and the adversary
+// alternating its attack target across models. Each model has its own
+// scrubber and verifier; the scrub budget is whatever the shared host
+// gives the n loops.
+func serveMultiRun(n, clients, perClient, flipsPerRound, attackEvery int) ServeMultiModel {
+	names := make([]string, n)
+	bundles := make([]*model.Bundle, n)
+	prots := make([]*core.Protector, n)
+	opts := []serve.ServiceOption{}
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("m%d", i)
+		b, eng, prot, cfg := tinyServeModel(true, true)
+		bundles[i], prots[i] = b, prot
+		opts = append(opts, serve.WithModel(names[i], eng, prot, serve.WithConfig(cfg)))
+	}
+	svc, err := serve.Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+
+	atk := model.Load(model.TinySpec())
+	profiles := attack.RandomMSB(atk.QModel, flipsPerRound*8, 43).Addresses()
+	drams := make([]*rowhammer.DRAM, n)
+	for i := range drams {
+		drams[i] = rowhammer.New(bundles[i].QModel, rowhammer.DefaultGeometry(), int64(19+i))
+	}
+
+	x, _ := bundles[0].Test.Batch(0, 32)
+	vol := tensor.Volume(x.Shape[1:])
+	input := func(i int) *tensor.Tensor {
+		t := tensor.New(x.Shape[1:]...)
+		copy(t.Data, x.Data[(i%32)*vol:(i%32+1)*vol])
+		return t
+	}
+
+	ctx := context.Background()
+	var served, asyncJobs int64
+	var mu sync.Mutex
+	attacks := 0
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				seq := c*perClient + i
+				req := serve.Request{Model: names[seq%n], Input: input(seq)}
+				var err error
+				if seq%4 == 3 {
+					// Async path: submit, then wait — exercises the job
+					// table under the same load.
+					var id serve.JobID
+					if id, err = svc.Submit(ctx, req); err == nil {
+						_, err = svc.Wait(ctx, id)
+						mu.Lock()
+						asyncJobs++
+						mu.Unlock()
+					}
+				} else {
+					_, err = svc.Infer(ctx, req)
+				}
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				served++
+				if served%int64(attackEvery) == 0 {
+					lo := (attacks * flipsPerRound) % len(profiles)
+					batch := profiles[lo : lo+flipsPerRound]
+					target := attacks % n
+					attacks++
+					mu.Unlock()
+					svc.Inject(names[target], func(m *quant.Model) {
+						drams[target].MountProfile(batch)
+						drams[target].Refresh()
+					})
+					continue
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	dt := time.Since(t0)
+
+	out := ServeMultiModel{Models: n, Seconds: dt.Seconds(), AsyncJobs: int(asyncJobs)}
+	snaps := make([]serve.Snapshot, n)
+	for i, name := range names {
+		snaps[i], _ = svc.Snapshot(name)
+		out.Requests += int(snaps[i].Requests)
+	}
+	svc.Close()
+	out.RPS = float64(out.Requests) / dt.Seconds()
+	for i, name := range names {
+		st := prots[i].Stats()
+		residual, _ := prots[i].DetectAndRecover()
+		out.PerModel = append(out.PerModel, ServeRun{
+			Name:            name,
+			Scrub:           true,
+			Verify:          true,
+			Requests:        int(snaps[i].Requests),
+			RPS:             float64(snaps[i].Requests) / dt.Seconds(),
+			P50Ms:           snaps[i].P50Ms,
+			P99Ms:           snaps[i].P99Ms,
+			AvgBatch:        snaps[i].AvgBatch,
+			GroupsFlagged:   st.GroupsFlagged,
+			WeightsZeroed:   st.WeightsZeroed,
+			ResidualFlagged: len(residual),
+		})
+	}
+	return out
+}
+
 // Render prints the sweep in the repo's table layout.
 func (r ServeScalingResult) Render() string {
 	var sb strings.Builder
@@ -197,6 +345,19 @@ func (r ServeScalingResult) Render() string {
 		r.Model, r.Clients, r.RequestsPerRun/r.Clients, r.FlipsPerRound, r.GOMAXPROCS)
 	sb.WriteString(row("config", "req/s", "p50", "p99", "avg batch", "flagged", "residual") + "\n")
 	for _, run := range r.Runs {
+		sb.WriteString(row(
+			run.Name,
+			fmt.Sprintf("%.0f", run.RPS),
+			fmt.Sprintf("%.1fms", run.P50Ms),
+			fmt.Sprintf("%.1fms", run.P99Ms),
+			fmt.Sprintf("%.1f", run.AvgBatch),
+			fmt.Sprintf("%d", run.GroupsFlagged),
+			fmt.Sprintf("%d", run.ResidualFlagged),
+		) + "\n")
+	}
+	fmt.Fprintf(&sb, "\nMulti-model: %d models in one service, %d requests (%d via async jobs) at %.0f req/s aggregate\n",
+		r.Multi.Models, r.Multi.Requests, r.Multi.AsyncJobs, r.Multi.RPS)
+	for _, run := range r.Multi.PerModel {
 		sb.WriteString(row(
 			run.Name,
 			fmt.Sprintf("%.0f", run.RPS),

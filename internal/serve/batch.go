@@ -104,8 +104,24 @@ func (s *Server) worker() {
 
 // runBatch assembles one (N, C, H, W) tensor from the batched requests,
 // runs a single engine forward (verified fetch and weight locking happen
-// inside, per layer) and fans the logit rows back out.
+// inside, per layer) and fans the logit rows back out. Requests whose
+// context was cancelled while they waited in the queue are dropped here —
+// their submitters have already returned, so computing them would be
+// wasted work (a whole batch of cancellations skips the forward pass
+// entirely).
 func (s *Server) runBatch(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			s.met.cancelled.Add(1)
+			continue
+		}
+		live = append(live, r)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	shape := batch[0].x.Shape
 	if len(shape) == 4 {
 		shape = shape[1:]

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -43,11 +44,15 @@ type healthResponse struct {
 	ScrubMs       int64  `json:"scrub_interval_ms"`
 }
 
-// Handler returns the HTTP front-end:
+// Handler returns the single-model pre-v1 HTTP front-end:
 //
 //	POST /infer   — run inference on one or more inputs
 //	GET  /healthz — liveness and model identity
 //	GET  /metrics — the full metrics Snapshot as JSON
+//
+// Deprecated: use Service.Handler, which serves the versioned
+// /v1/models/... surface (with these routes kept as shims for one
+// release) plus async jobs and the admin control plane.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", s.handleInfer)
@@ -61,54 +66,73 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	s.serveInfer(w, r)
+}
+
+// decodeInferRequest parses an InferRequest body into per-input tensors
+// against the server's configured shape (or the request's override).
+func (s *Server) decodeInferRequest(r *http.Request) ([]*tensor.Tensor, error) {
 	var req InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil, fmt.Errorf("bad JSON: %w", err)
 	}
 	inputs := req.Inputs
 	if len(req.Input) > 0 {
 		inputs = append([][]float32{req.Input}, inputs...)
 	}
 	if len(inputs) == 0 {
-		http.Error(w, "no inputs", http.StatusBadRequest)
-		return
+		return nil, errors.New("no inputs")
 	}
 	shape := req.Shape
 	if len(shape) == 0 {
 		shape = s.cfg.InputShape
 	}
 	if len(shape) != 3 {
-		http.Error(w, "shape must be (C,H,W)", http.StatusBadRequest)
-		return
+		return nil, errors.New("shape must be (C,H,W)")
 	}
 	vol := tensor.Volume(shape)
-	// Submit everything first so a multi-input request fills batches, then
-	// collect in order.
-	chans := make([]<-chan Result, len(inputs))
+	out := make([]*tensor.Tensor, len(inputs))
 	for i, in := range inputs {
 		if len(in) != vol {
-			http.Error(w, fmt.Sprintf("input %d has %d values, shape %v needs %d",
-				i, len(in), shape, vol), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("input %d has %d values, shape %v needs %d", i, len(in), shape, vol)
 		}
 		x := tensor.New(shape...)
 		copy(x.Data, in)
-		ch, err := s.submit(x)
+		out[i] = x
+	}
+	return out, nil
+}
+
+// serveInfer is the shared sync-inference handler body used by both the
+// v1 route and the deprecated ones: submit everything first (so a
+// multi-input request fills batches), then collect in order, all under
+// the client's request context. Errors map through httpError, so the
+// status contract (400/429/503+Retry-After) is identical on every route.
+func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request) {
+	inputs, err := s.decodeInferRequest(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	ctx := r.Context()
+	chans := make([]<-chan Result, len(inputs))
+	for i, x := range inputs {
+		ch, err := s.submit(ctx, x)
 		if err != nil {
-			status := http.StatusBadRequest
-			if err == ErrServerClosed {
-				status = http.StatusServiceUnavailable
-			}
-			http.Error(w, err.Error(), status)
+			httpError(w, err)
 			return
 		}
 		chans[i] = ch
 	}
 	resp := InferResponse{Results: make([]InferResult, len(chans))}
 	for i, ch := range chans {
-		res := <-ch
-		resp.Results[i] = InferResult{Class: res.Class, Logits: res.Logits}
+		select {
+		case res := <-ch:
+			resp.Results[i] = InferResult{Class: res.Class, Logits: res.Logits}
+		case <-ctx.Done():
+			httpError(w, ctx.Err())
+			return
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -135,6 +159,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeJSONStatus is writeJSON with a non-200 status: the Content-Type
+// header must land before WriteHeader freezes the header set.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

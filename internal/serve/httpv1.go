@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// JobRef answers POST /v1/models/{name}/jobs: the accepted job's identity
+// and where to poll it.
+type JobRef struct {
+	ID    JobID  `json:"id"`
+	Model string `json:"model"`
+	// Location is the polling route for this job.
+	Location string `json:"location"`
+}
+
+// ModelsResponse is the body of GET /v1/models.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+	// Jobs summarizes the service-wide async job table.
+	Jobs JobTableStats `json:"jobs"`
+}
+
+// JobTableStats is the job table's live occupancy.
+type JobTableStats struct {
+	Active    int   `json:"active"`
+	Submitted int64 `json:"submitted"`
+	Capacity  int   `json:"capacity"`
+}
+
+// adminRequest is the body of POST /v1/admin/scrub and /v1/admin/rekey.
+// An empty Model targets every hosted model.
+type adminRequest struct {
+	Model string `json:"model,omitempty"`
+	// Full selects the pipelined whole-model sweep (scrub only).
+	Full bool `json:"full,omitempty"`
+}
+
+// adminResponse answers the admin routes with one report per model acted on.
+type adminResponse struct {
+	Results []AdminReport `json:"results"`
+}
+
+// Handler returns the versioned HTTP front-end of the whole service:
+//
+//	POST /v1/models/{model}/infer  — sync inference (honors client disconnect)
+//	POST /v1/models/{model}/jobs   — submit an async job, 202 + job ID
+//	GET  /v1/jobs/{id}             — poll a job; result once state is "done"
+//	GET  /v1/models                — hosted models, health, live metrics
+//	GET  /v1/models/{model}        — one model's info/metrics
+//	POST /v1/admin/scrub           — force a scrub cycle ({"model","full"})
+//	POST /v1/admin/rekey           — rotate protection secrets live ({"model"})
+//
+// The pre-v1 routes — POST /infer, GET /healthz, GET /metrics — remain as
+// thin shims onto the default model for one release; they answer with a
+// Deprecation header pointing at the v1 surface.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/models/{model}/infer", s.handleInferV1)
+	mux.HandleFunc("POST /v1/models/{model}/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/models/{model}", s.handleModel)
+	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
+	mux.HandleFunc("POST /v1/admin/rekey", s.handleRekey)
+	mux.HandleFunc("POST /infer", s.handleLegacyInfer)
+	mux.HandleFunc("GET /healthz", s.handleLegacyHealthz)
+	mux.HandleFunc("GET /metrics", s.handleLegacyMetrics)
+	return mux
+}
+
+// httpError maps the service's typed errors onto wire status codes:
+// unknown model/job → 404, stopping → 503 + Retry-After, saturated queue
+// or job table → 429 + Retry-After, anything else (malformed tensors,
+// bad shapes) → 400.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownModel), errors.Is(err, ErrUnknownJob):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrStopping):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrJobsFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or ran out its deadline mid-request; the
+		// response is mostly moot but keep the mapping honest.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Service) handleInferV1(w http.ResponseWriter, r *http.Request) {
+	hm, err := s.reg.lookup(r.PathValue("model"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	hm.srv.serveInfer(w, r)
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	hm, err := s.reg.lookup(r.PathValue("model"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	inputs, err := hm.srv.decodeInferRequest(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if len(inputs) != 1 {
+		httpError(w, errors.New("a job carries exactly one input"))
+		return
+	}
+	// The job must outlive this HTTP exchange: detach it from the request
+	// context (cancellation is the DELETE of a future release; for now a
+	// submitted job runs to completion and expires via the TTL).
+	id, err := s.Submit(context.WithoutCancel(r.Context()),
+		Request{Model: hm.name, Input: inputs[0]})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted,
+		JobRef{ID: id, Model: hm.name, Location: "/v1/jobs/" + string(id)})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Poll(JobID(r.PathValue("id")))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
+	active, submitted := s.jobs.stats()
+	writeJSON(w, ModelsResponse{
+		Models: s.Models(),
+		Jobs:   JobTableStats{Active: active, Submitted: submitted, Capacity: s.jobs.cap},
+	})
+}
+
+func (s *Service) handleModel(w http.ResponseWriter, r *http.Request) {
+	hm, err := s.reg.lookup(r.PathValue("model"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, hm.info())
+}
+
+func (s *Service) handleScrub(w http.ResponseWriter, r *http.Request) {
+	var req adminRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	reports, err := s.Scrub(req.Model, req.Full)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, adminResponse{Results: reports})
+}
+
+func (s *Service) handleRekey(w http.ResponseWriter, r *http.Request) {
+	var req adminRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	reports, err := s.Rekey(req.Model)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, adminResponse{Results: reports})
+}
+
+// deprecate stamps a pre-v1 response with the deprecation signal and the
+// successor route.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+}
+
+func (s *Service) handleLegacyInfer(w http.ResponseWriter, r *http.Request) {
+	hm, _ := s.reg.lookup("") // default model always resolves
+	deprecate(w, "/v1/models/"+hm.name+"/infer")
+	hm.srv.serveInfer(w, r)
+}
+
+func (s *Service) handleLegacyHealthz(w http.ResponseWriter, r *http.Request) {
+	hm, _ := s.reg.lookup("")
+	deprecate(w, "/v1/models")
+	hm.srv.handleHealthz(w, r)
+}
+
+func (s *Service) handleLegacyMetrics(w http.ResponseWriter, r *http.Request) {
+	hm, _ := s.reg.lookup("")
+	deprecate(w, "/v1/models/"+hm.name)
+	writeJSON(w, hm.srv.Snapshot())
+}

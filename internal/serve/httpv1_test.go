@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+// tinyBody builds a valid single-input body for the tiny spec's (3,8,8).
+func tinyBody(t testing.TB, x *tensor.Tensor) string {
+	t.Helper()
+	b, err := json.Marshal(InferRequest{Input: x.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHTTPV1Routes is the table-driven status contract of the v1 surface:
+// unknown model → 404, malformed tensor/body → 400, wrong method → 405.
+func TestHTTPV1Routes(t *testing.T) {
+	svc, b, _ := openTiny(t, 2, []ModelOption{WithScrub(0, 0)})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+	good := tinyBody(t, sample(x, 0))
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"sync infer ok", "POST", "/v1/models/m0/infer", good, 200},
+		{"second model ok", "POST", "/v1/models/m1/infer", good, 200},
+		{"bad model name", "POST", "/v1/models/nope/infer", good, 404},
+		{"bad model job", "POST", "/v1/models/nope/jobs", good, 404},
+		{"malformed JSON", "POST", "/v1/models/m0/infer", `{"input":[`, 400},
+		{"malformed tensor", "POST", "/v1/models/m0/infer", `{"input":[1,2,3]}`, 400},
+		{"no inputs", "POST", "/v1/models/m0/infer", `{}`, 400},
+		{"bad shape", "POST", "/v1/models/m0/infer", `{"input":[1,2],"shape":[2]}`, 400},
+		{"multi-input job", "POST", "/v1/models/m0/jobs", fmt.Sprintf(`{"inputs":[%s,%s]}`, "[0.1]", "[0.2]"), 400},
+		{"unknown job", "GET", "/v1/jobs/job-ffffffff", "", 404},
+		{"models list", "GET", "/v1/models", "", 200},
+		{"model info", "GET", "/v1/models/m1", "", 200},
+		{"model info 404", "GET", "/v1/models/zzz", "", 404},
+		{"infer is POST-only", "GET", "/v1/models/m0/infer", "", 405},
+		{"jobs is POST-only", "GET", "/v1/models/m0/jobs", "", 405},
+		{"admin scrub bad JSON", "POST", "/v1/admin/scrub", `{`, 400},
+		{"admin scrub unknown model", "POST", "/v1/admin/scrub", `{"model":"zzz"}`, 404},
+		{"admin rekey unknown model", "POST", "/v1/admin/rekey", `{"model":"zzz"}`, 404},
+		{"admin scrub is POST-only", "GET", "/v1/admin/scrub", "", 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s → %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestHTTPJobRoundTrip drives the async wire protocol: 202 + job ref on
+// submit, pollable status, and the result embedded once state is "done".
+func TestHTTPJobRoundTrip(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+
+	resp, err := http.Post(ts.URL+"/v1/models/m0/jobs", "application/json",
+		strings.NewReader(tinyBody(t, sample(x, 0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit status %d, want 202", resp.StatusCode)
+	}
+	var ref JobRef
+	if err := json.NewDecoder(resp.Body).Decode(&ref); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ref.ID == "" || ref.Model != "m0" || ref.Location != "/v1/jobs/"+string(ref.ID) {
+		t.Fatalf("job ref: %+v", ref)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + ref.Location)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == JobDone {
+			if st.Result == nil || len(st.Result.Logits) == 0 {
+				t.Fatalf("done job carries no result: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHTTPQueueAndTableSaturation: a wedged model with a capacity-1 job
+// table answers the first job with 202 and the second with 429 +
+// Retry-After — the connection is never parked.
+func TestHTTPQueueAndTableSaturation(t *testing.T) {
+	svc, b, _ := openTiny(t, 1,
+		[]ModelOption{WithScrub(0, 0)},
+		WithJobCapacity(1))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+	body := tinyBody(t, sample(x, 0))
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	resp, err := http.Post(ts.URL+"/v1/models/m0/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first job status %d, want 202", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/models/m0/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity job status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	release()
+}
+
+// TestHTTPStopping: after Close, submissions answer 503 with Retry-After
+// on both the v1 and the deprecated routes.
+func TestHTTPStopping(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+	body := tinyBody(t, sample(x, 0))
+	svc.Close()
+
+	for _, path := range []string{"/v1/models/m0/infer", "/v1/models/m0/jobs", "/infer"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s on stopped service → %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("POST %s: 503 without Retry-After", path)
+		}
+	}
+}
+
+// TestHTTPModelsAndAdmin exercises the control plane end to end: the
+// models listing carries per-model metrics and job-table stats, admin
+// scrub reports per-model findings, and admin rekey answers with
+// rekeyed=true while the model keeps serving.
+func TestHTTPModelsAndAdmin(t *testing.T) {
+	svc, b, _ := openTiny(t, 2, []ModelOption{WithScrub(0, 0), WithVerifiedFetch(false)})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+	body := tinyBody(t, sample(x, 0))
+
+	if resp, err := http.Post(ts.URL+"/v1/models/m0/infer", "application/json", strings.NewReader(body)); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("warmup infer: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models ModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(models.Models) != 2 || models.Models[0].Name != "m0" || models.Models[1].Name != "m1" {
+		t.Fatalf("models listing: %+v", models)
+	}
+	if models.Models[0].Metrics.Requests != 1 || models.Models[1].Metrics.Requests != 0 {
+		t.Fatalf("per-model request accounting leaked: %+v", models)
+	}
+	if models.Jobs.Capacity != DefaultJobCapacity {
+		t.Fatalf("job stats: %+v", models.Jobs)
+	}
+
+	// Corrupt m1 directly (bypassing the model API) and scrub everything.
+	l := b[1].QModel.Layers[0]
+	if err := svc.Inject("m1", func(m *quant.Model) {
+		l.Q[3] = quant.FlipBit(l.Q[3], quant.MSB)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/admin/scrub", "application/json",
+		strings.NewReader(`{"full":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admin adminResponse
+	if err := json.NewDecoder(resp.Body).Decode(&admin); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(admin.Results) != 2 || admin.Results[0].Flagged != 0 || admin.Results[1].Flagged == 0 {
+		t.Fatalf("admin scrub results: %+v", admin)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/admin/rekey", "application/json",
+		strings.NewReader(`{"model":"m0"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin = adminResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&admin); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(admin.Results) != 1 || !admin.Results[0].Rekeyed || admin.Results[0].Model != "m0" {
+		t.Fatalf("admin rekey results: %+v", admin)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/models/m0/infer", "application/json", strings.NewReader(body)); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("post-rekey infer: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPLegacyShims: the pre-v1 routes still answer — routed to the
+// default model — and carry the Deprecation + successor-version headers.
+func TestHTTPLegacyShims(t *testing.T) {
+	svc, b, _ := openTiny(t, 2, []ModelOption{WithScrub(0, 0)})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+
+	resp, err := http.Post(ts.URL+"/infer", "application/json",
+		strings.NewReader(tinyBody(t, sample(x, 0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /infer status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") == "" ||
+		!strings.Contains(resp.Header.Get("Link"), "/v1/models/m0/infer") {
+		t.Fatalf("legacy /infer lacks deprecation headers: %v", resp.Header)
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 1 || len(out.Results[0].Logits) == 0 {
+		t.Fatalf("legacy infer response: %+v", out)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") == "" {
+			t.Fatalf("legacy %s: status %d, headers %v", path, resp.StatusCode, resp.Header)
+		}
+		resp.Body.Close()
+	}
+
+	// The legacy shim answers with the default model, so its count moved.
+	s0, _ := svc.Snapshot("m0")
+	s1, _ := svc.Snapshot("m1")
+	if s0.Requests != 1 || s1.Requests != 0 {
+		t.Fatalf("legacy routing: m0=%d m1=%d requests", s0.Requests, s1.Requests)
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrUnknownJob is returned when a job ID is not in the table — never
+// submitted, cancelled and reaped, or expired past the retention TTL.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// ErrJobsFull is returned by Submit when the bounded job table is at
+// capacity even after reaping expired entries. The HTTP front-end maps it
+// to 429.
+var ErrJobsFull = errors.New("serve: job table full")
+
+// ErrJobCancelled is returned by Wait for a job whose submission context
+// was cancelled before its result was computed.
+var ErrJobCancelled = errors.New("serve: job cancelled")
+
+// JobID identifies one async inference job for Poll/Wait and the
+// /v1/jobs/{id} route.
+type JobID string
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	// JobPending: submitted, waiting in (or moving through) the batch queue.
+	JobPending JobState = "pending"
+	// JobDone: the result is available via Poll or Wait.
+	JobDone JobState = "done"
+	// JobCancelled: the submission context was cancelled before completion;
+	// the job is reaped from the table right after entering this state.
+	JobCancelled JobState = "cancelled"
+)
+
+// JobStatus is a point-in-time view of one job (the Poll answer and the
+// GET /v1/jobs/{id} body). Result is set only in state "done".
+type JobStatus struct {
+	ID     JobID    `json:"id"`
+	Model  string   `json:"model"`
+	State  JobState `json:"state"`
+	Result *Result  `json:"result,omitempty"`
+	// AgeMs is milliseconds since submission.
+	AgeMs int64 `json:"age_ms"`
+}
+
+// job is one table entry. Mutable fields are guarded by the table mutex;
+// done is closed exactly once on completion or cancellation.
+type job struct {
+	id      JobID
+	model   string
+	created time.Time
+	done    chan struct{}
+
+	state    JobState
+	res      Result
+	finished time.Time
+}
+
+// jobTable is the bounded async-job store. Submission reserves a slot (so
+// capacity is enforced before any work is queued), completion keeps the
+// entry around for ttl so clients can poll the result, and cancelled jobs
+// are removed immediately. Expired entries are reaped lazily on every
+// create and on any poll that touches them — no background sweeper
+// goroutine is needed.
+type jobTable struct {
+	mu   sync.Mutex
+	cap  int
+	ttl  time.Duration
+	seq  uint64
+	jobs map[JobID]*job
+
+	submitted int64 // lifetime jobs accepted
+}
+
+func newJobTable(capacity int, ttl time.Duration) *jobTable {
+	return &jobTable{cap: capacity, ttl: ttl, jobs: make(map[JobID]*job)}
+}
+
+// create reserves a slot for a new pending job, reaping expired finished
+// entries first; a table still at capacity returns ErrJobsFull.
+func (t *jobTable) create(model string) (*job, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.jobs) >= t.cap {
+		t.reapLocked(time.Now())
+	}
+	if len(t.jobs) >= t.cap {
+		return nil, fmt.Errorf("%w (%d jobs)", ErrJobsFull, len(t.jobs))
+	}
+	t.seq++
+	j := &job{
+		id:      JobID(fmt.Sprintf("job-%08x", t.seq)),
+		model:   model,
+		created: time.Now(),
+		done:    make(chan struct{}),
+		state:   JobPending,
+	}
+	t.jobs[j.id] = j
+	t.submitted++
+	return j, nil
+}
+
+// reapLocked deletes finished jobs older than the retention TTL.
+func (t *jobTable) reapLocked(now time.Time) {
+	for id, j := range t.jobs {
+		if j.state == JobDone && now.Sub(j.finished) > t.ttl {
+			delete(t.jobs, id)
+		}
+	}
+}
+
+// abort drops a job whose submission failed after the slot was reserved
+// and undoes its accounting — a rejected submission (full queue, server
+// stopping) never counts as an accepted job.
+func (t *jobTable) abort(id JobID) {
+	t.mu.Lock()
+	if _, ok := t.jobs[id]; ok {
+		delete(t.jobs, id)
+		t.submitted--
+	}
+	t.mu.Unlock()
+}
+
+// watch runs on its own goroutine per in-flight job: it completes the job
+// when the batch workers answer, or cancels and reaps it when the
+// submission context is done first. Because results arrive on a buffered
+// channel, a late answer to a cancelled job is simply dropped.
+func (t *jobTable) watch(j *job, ctx context.Context, ch <-chan Result) {
+	select {
+	case res := <-ch:
+		t.mu.Lock()
+		j.state = JobDone
+		j.res = res
+		j.finished = time.Now()
+		t.mu.Unlock()
+		close(j.done)
+	case <-ctx.Done():
+		t.mu.Lock()
+		j.state = JobCancelled
+		j.finished = time.Now()
+		delete(t.jobs, j.id)
+		t.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// get returns the live table entry (expired entries are reaped on touch).
+func (t *jobTable) get(id JobID) (*job, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	if j.state == JobDone && time.Since(j.finished) > t.ttl {
+		delete(t.jobs, id)
+		return nil, fmt.Errorf("%w %q (expired)", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// status snapshots a job under the table lock.
+func (t *jobTable) status(j *job) JobStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := JobStatus{
+		ID:    j.id,
+		Model: j.model,
+		State: j.state,
+		AgeMs: time.Since(j.created).Milliseconds(),
+	}
+	if j.state == JobDone {
+		res := j.res
+		st.Result = &res
+	}
+	return st
+}
+
+// active reports how many jobs the table currently holds.
+func (t *jobTable) active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
+}
+
+// stats returns (active, lifetime-submitted).
+func (t *jobTable) stats() (int, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs), t.submitted
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestJobLifecycle is the submit → poll pending → wait → completed round
+// trip, with the workers wedged long enough to observe the pending state
+// deterministically.
+func TestJobLifecycle(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	x, _ := b[0].Test.Batch(0, 4)
+
+	// Reference answer through the sync path first.
+	ref, err := svc.Infer(context.Background(), Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release := wedge(t, svc, "m0")
+	defer release()
+	id, err := svc.Submit(context.Background(), Request{Model: "m0", Input: sample(x, 0)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := svc.Poll(id)
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	if st.State != JobPending || st.Model != "m0" || st.Result != nil {
+		t.Fatalf("pre-completion status: %+v", st)
+	}
+
+	release()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := svc.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Class != ref.Class {
+		t.Fatalf("job answered class %d, sync path %d", res.Class, ref.Class)
+	}
+	// The result stays pollable after Wait (until the TTL).
+	st, err = svc.Poll(id)
+	if err != nil {
+		t.Fatalf("post-Wait Poll: %v", err)
+	}
+	if st.State != JobDone || st.Result == nil || st.Result.Class != ref.Class {
+		t.Fatalf("post-completion status: %+v", st)
+	}
+
+	if _, err := svc.Poll(JobID("job-ffffffff")); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job Poll: %v", err)
+	}
+	if _, err := svc.Wait(ctx, JobID("job-ffffffff")); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job Wait: %v", err)
+	}
+}
+
+// TestJobCancelledReaped: cancelling a job's submission context before it
+// runs drops its queued work and removes it from the table.
+func TestJobCancelledReaped(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	x, _ := b[0].Test.Batch(0, 1)
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	id, err := svc.Submit(ctx, Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Wait(context.Background(), id)
+		waitDone <- err
+	}()
+	// Let Wait park on the job before cancelling; if cancellation still
+	// wins the race, the reap turns Wait's lookup into ErrUnknownJob,
+	// which the assertion below also accepts.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	// The watcher reaps asynchronously; poll until the ID is gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := svc.Poll(id); errors.Is(err, ErrUnknownJob) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never reaped from the table")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-waitDone:
+		if !errors.Is(err, ErrJobCancelled) && !errors.Is(err, ErrUnknownJob) {
+			t.Fatalf("Wait on cancelled job returned %v, want ErrJobCancelled (or ErrUnknownJob when the reap wins)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait never returned for the cancelled job")
+	}
+	if n := svc.jobs.active(); n != 0 {
+		t.Fatalf("job table still holds %d entries", n)
+	}
+}
+
+// TestJobTableBounded: the table refuses submissions past its capacity
+// with a typed ErrJobsFull, and frees the slot again once jobs expire.
+func TestJobTableBounded(t *testing.T) {
+	svc, b, _ := openTiny(t, 1,
+		[]ModelOption{WithScrub(0, 0)},
+		WithJobCapacity(1), WithJobTTL(10*time.Millisecond))
+	x, _ := b[0].Test.Batch(0, 2)
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	id, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	if _, err := svc.Submit(context.Background(), Request{Input: sample(x, 1)}); !errors.Is(err, ErrJobsFull) {
+		t.Fatalf("over-capacity Submit returned %v, want ErrJobsFull", err)
+	}
+
+	release()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := svc.Wait(ctx, id); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// Past the TTL the finished job is reaped on the next touch, freeing
+	// capacity and invalidating the old ID.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)}); err != nil {
+		t.Fatalf("Submit after TTL reap: %v", err)
+	}
+	if _, err := svc.Poll(id); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired job still pollable: %v", err)
+	}
+}
+
+// TestSubmitQueueFullTyped: the async path never parks — once the
+// bounded request queue is saturated, Submit fails fast with
+// ErrQueueFull instead of blocking the caller.
+func TestSubmitQueueFullTyped(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{
+		WithScrub(0, 0),
+		WithWorkers(1),
+		WithBatch(1, time.Millisecond),
+		WithQueueDepth(1),
+	})
+	x, _ := b[0].Test.Batch(0, 1)
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		t0 := time.Now()
+		_, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)})
+		if errors.Is(err, ErrQueueFull) {
+			if dt := time.Since(t0); dt > time.Second {
+				t.Fatalf("queue-full Submit took %v — it must not block", dt)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never reported full")
+		}
+	}
+	release()
+}

@@ -16,11 +16,13 @@ const latencySamples = 4096
 // lock with the snapshot reader.
 type metrics struct {
 	requests, batches, batched  atomic.Int64
+	cancelled                   atomic.Int64
 	scrubCycles                 atomic.Int64
 	scrubFlagged, scrubZeroed   atomic.Int64
 	verifyHits, verifyScans     atomic.Int64
 	verifyFlagged, verifyZeroed atomic.Int64
 	injections                  atomic.Int64
+	rekeys                      atomic.Int64
 
 	mu  sync.Mutex
 	lat []time.Duration // ring buffer of recent request latencies
@@ -71,6 +73,9 @@ type Snapshot struct {
 	Requests int64   `json:"requests"`
 	Batches  int64   `json:"batches"`
 	AvgBatch float64 `json:"avg_batch"`
+	// Cancelled counts requests dropped before their forward pass because
+	// the submitter's context was cancelled while they waited in the queue.
+	Cancelled int64 `json:"cancelled"`
 	// P50Ms / P99Ms are end-to-end request latency quantiles over the most
 	// recent requests (enqueue to answer, including batching wait).
 	P50Ms float64 `json:"p50_ms"`
@@ -89,6 +94,8 @@ type Snapshot struct {
 	VerifyZeroed  int64 `json:"verify_zeroed"`
 	// Injections counts Inject calls (live attack rounds).
 	Injections int64 `json:"injections"`
+	// Rekeys counts live admin re-keyings of this model's secrets.
+	Rekeys int64 `json:"rekeys"`
 	// ProtectorScans etc. mirror core.Protector.Stats for the whole
 	// protector (scrubber + verified fetch combined).
 	ProtectorScans  int64 `json:"protector_scans"`
@@ -110,6 +117,7 @@ func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
 		Requests:        s.met.requests.Load(),
 		Batches:         s.met.batches.Load(),
+		Cancelled:       s.met.cancelled.Load(),
 		P50Ms:           float64(qs[0]) / float64(time.Millisecond),
 		P99Ms:           float64(qs[1]) / float64(time.Millisecond),
 		ScrubCycles:     s.met.scrubCycles.Load(),
@@ -120,6 +128,7 @@ func (s *Server) Snapshot() Snapshot {
 		VerifyFlagged:   s.met.verifyFlagged.Load(),
 		VerifyZeroed:    s.met.verifyZeroed.Load(),
 		Injections:      s.met.injections.Load(),
+		Rekeys:          s.met.rekeys.Load(),
 		ProtectorScans:  st.Scans,
 		GroupsFlagged:   st.GroupsFlagged,
 		GroupsRecovered: st.GroupsRecovered,

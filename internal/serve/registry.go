@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/qinfer"
+	"radar/internal/quant"
+)
+
+// ErrUnknownModel is returned (wrapped, errors.Is-able) when a request
+// names a model the registry does not host. The HTTP front-end maps it
+// to 404.
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// hostedModel is one registry entry: a name bound to an engine, the
+// protector guarding its weight image, and the per-model serving runtime
+// (batcher + scrubber + verifier + metrics).
+type hostedModel struct {
+	name string
+	eng  *qinfer.Engine
+	prot *core.Protector
+	srv  *Server
+
+	// rekeyMu serializes admin rekeys of this model: Rekey swaps the
+	// protector's schemes and golden signatures wholesale, so two
+	// concurrent rekeys must not interleave their scrub/swap phases.
+	rekeyMu sync.Mutex
+}
+
+// Registry hosts the service's models. It is immutable after Open (the
+// model set is fixed for the process lifetime), so lookups are lock-free;
+// per-model mutable state lives behind each model's own runtime.
+type Registry struct {
+	byName map[string]*hostedModel
+	order  []string // registration order; order[0] is the default model
+}
+
+// lookup resolves a model name; the empty name selects the default model
+// (the first registered), which is what the deprecated pre-v1 routes and
+// single-model deployments use.
+func (r *Registry) lookup(name string) (*hostedModel, error) {
+	if name == "" {
+		return r.byName[r.order[0]], nil
+	}
+	hm, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownModel, name)
+	}
+	return hm, nil
+}
+
+// Names returns the hosted model names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// each runs f over the hosted models in registration order, or over just
+// the named one; empty name means all (the admin endpoints' convention).
+func (r *Registry) each(name string, f func(*hostedModel) error) error {
+	if name != "" {
+		hm, err := r.lookup(name)
+		if err != nil {
+			return err
+		}
+		return f(hm)
+	}
+	for _, n := range r.order {
+		if err := f(r.byName[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ModelInfo is one model's identity, configuration and live metrics — an
+// entry of GET /v1/models and of Service.Models.
+type ModelInfo struct {
+	Name          string   `json:"name"`
+	Layers        int      `json:"layers"`
+	Groups        int      `json:"groups"`
+	InputShape    []int    `json:"input_shape,omitempty"`
+	VerifiedFetch bool     `json:"verified_fetch"`
+	ScrubMs       int64    `json:"scrub_interval_ms"`
+	Healthy       bool     `json:"healthy"`
+	Metrics       Snapshot `json:"metrics"`
+}
+
+// info snapshots one hosted model.
+func (hm *hostedModel) info() ModelInfo {
+	return ModelInfo{
+		Name:          hm.name,
+		Layers:        len(hm.prot.Model.Layers),
+		Groups:        hm.prot.NumGroups(),
+		InputShape:    hm.srv.cfg.InputShape,
+		VerifiedFetch: hm.srv.cfg.VerifiedFetch,
+		ScrubMs:       hm.srv.cfg.ScrubInterval.Milliseconds(),
+		Healthy:       hm.srv.Healthy(),
+		Metrics:       hm.srv.Snapshot(),
+	}
+}
+
+// scrub runs one scrub cycle on this model (see Server.Scrub).
+func (hm *hostedModel) scrub(full bool) AdminReport {
+	flagged, zeroed := hm.srv.Scrub(full)
+	return AdminReport{Model: hm.name, Flagged: len(flagged), Zeroed: zeroed}
+}
+
+// rekey rotates this model's protection secrets live: a full
+// detect-and-recover sweep first (so live corruption is repaired, not
+// laundered into the new golden signatures), then — under the layer
+// guard's whole-model write exclusion, so no scan or fetch observes a
+// half-swapped scheme set — fresh per-layer keys and offsets are drawn
+// and every golden signature is recomputed via the protector's sharded
+// RefreshAll. Because the first sweep releases its locks before LockAll
+// is acquired, a final DetectAndRecoverExclusive runs inside the
+// exclusive section to repair anything that landed in between; only then
+// are the new goldens derived. Inference stalls only for the exclusive
+// section; the verified-fetch epoch cache stays valid because the
+// (recovered) weights are what the new golden values are computed from.
+func (hm *hostedModel) rekey() AdminReport {
+	hm.rekeyMu.Lock()
+	defer hm.rekeyMu.Unlock()
+	flagged, zeroed := hm.srv.Scrub(true)
+	sch := hm.prot.Schemes[0]
+	cfg := core.Config{
+		G:          sch.G,
+		Interleave: sch.Interleave,
+		SigBits:    sch.SigBits,
+		Seed:       rekeySeed(),
+	}
+	hm.srv.guard.LockAll()
+	lateFlagged, lateZeroed := hm.prot.DetectAndRecoverExclusive()
+	hm.prot.Rekey(cfg)
+	hm.srv.guard.UnlockAll()
+	hm.srv.met.rekeys.Add(1)
+	return AdminReport{
+		Model:   hm.name,
+		Flagged: len(flagged) + len(lateFlagged),
+		Zeroed:  zeroed + lateZeroed,
+		Rekeyed: true,
+	}
+}
+
+// rekeySeed draws a fresh secret seed for a live rekey. Entropy quality
+// is not load-bearing here (the scheme's threat model is bit-flips, not
+// key recovery from ciphertext), but successive rekeys must not repeat.
+func rekeySeed() int64 {
+	return time.Now().UnixNano() ^ rand.Int63()
+}
+
+// inject runs an adversary against this model under write exclusion.
+func (hm *hostedModel) inject(f func(*quant.Model)) { hm.srv.Inject(f) }
+
+// AdminReport is one model's answer to an admin scrub or rekey.
+type AdminReport struct {
+	Model string `json:"model"`
+	// Flagged / Zeroed report what the (pre-rekey) scrub cycle found.
+	Flagged int `json:"flagged"`
+	Zeroed  int `json:"zeroed"`
+	// Rekeyed is true when the model's secrets were rotated.
+	Rekeyed bool `json:"rekeyed,omitempty"`
+}

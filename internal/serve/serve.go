@@ -1,7 +1,21 @@
-// Package serve is the protected inference serving subsystem: it keeps a
-// RADAR-protected quantized model continuously safe while answering
+// Package serve is the protected inference serving subsystem: it keeps
+// RADAR-protected quantized models continuously safe while answering
 // inference traffic — the paper's run-time deployment model turned into an
-// actual server. Four cooperating pieces share one int8 weight image:
+// actual server.
+//
+// The public surface is the Service, built with Open from functional
+// options: it hosts any number of independently configured models (each an
+// engine + protector + scrubber + verifier tuple, see WithModel) behind a
+// routing front-end keyed by model name. Sync inference is
+// Service.Infer(ctx, Request) — context deadlines and cancellation are
+// honored all the way into the batch queue — and the async job API
+// (Submit / Poll / Wait, backed by a bounded job table) answers traffic
+// without parking a connection per request. Handler exposes the versioned
+// HTTP control plane (/v1/models/{name}/infer, /v1/models/{name}/jobs,
+// /v1/jobs/{id}, /v1/models, /v1/admin/scrub, /v1/admin/rekey) plus
+// thin deprecated shims for the pre-v1 routes.
+//
+// Per hosted model, four cooperating pieces share one int8 weight image:
 //
 //   - A batching queue (bounded, with a max-batch-size and max-latency
 //     flush policy) that coalesces single-input requests into batched
@@ -18,14 +32,15 @@
 //     whole-model write exclusion, so integration tests and benchmarks can
 //     flip bits mid-traffic without tripping the race detector.
 //
-// All cross-goroutine access to the weight image is coordinated through
-// one core.LayerGuard: inference and scans take per-layer read locks,
-// recovery and injected attacks take per-layer write locks. The subsystem
-// is therefore -race-clean by construction while flips, scrubs, verified
-// fetches and batched forwards all land on the same storage.
+// All cross-goroutine access to a weight image is coordinated through one
+// core.LayerGuard per model: inference and scans take per-layer read
+// locks, recovery and injected attacks take per-layer write locks. The
+// subsystem is therefore -race-clean by construction while flips, scrubs,
+// verified fetches and batched forwards all land on the same storage.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -102,27 +117,44 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Result is one request's answer.
+// Result is one request's answer. It serializes with lower-case keys —
+// the async job route embeds it verbatim in the JobStatus body.
 type Result struct {
 	// Class is the argmax of Logits.
-	Class int
+	Class int `json:"class"`
 	// Logits is the classifier output row for this input.
-	Logits []float32
+	Logits []float32 `json:"logits"`
 }
 
 // request is one queued inference input awaiting batching.
 type request struct {
-	x   *tensor.Tensor // (C, H, W)
+	ctx context.Context // submitter's context; cancelled requests are skipped
+	x   *tensor.Tensor  // (C, H, W)
 	enq time.Time
 	out chan Result
 }
 
-// ErrServerClosed is returned by Infer after Stop has begun.
-var ErrServerClosed = errors.New("serve: server closed")
+// ErrStopping is returned by submissions that race a graceful shutdown:
+// the server has begun stopping and accepts no new work. It is stable
+// (errors.Is-able); the HTTP front-ends map it to 503 with a Retry-After
+// header so load balancers retry elsewhere.
+var ErrStopping = errors.New("serve: server stopping")
+
+// ErrServerClosed is the pre-v1 name for ErrStopping.
+//
+// Deprecated: compare with errors.Is(err, ErrStopping).
+var ErrServerClosed = ErrStopping
+
+// ErrQueueFull is returned by non-blocking submissions (the async job
+// path) when the bounded request queue is at capacity. The HTTP front-end
+// maps it to 429.
+var ErrQueueFull = errors.New("serve: request queue full")
 
 // Server binds an int8 inference engine to a RADAR protector and serves
-// batched, continuously-verified inference. Build with New, then Start;
-// Stop drains in-flight requests before returning.
+// batched, continuously-verified inference. It is the per-model runtime a
+// Service hosts one of per registered model; build with New, then Start;
+// Stop drains in-flight requests before returning. Most callers should
+// use Open/Service instead and let the registry manage Server lifecycles.
 type Server struct {
 	cfg   Config
 	eng   *qinfer.Engine
@@ -198,10 +230,10 @@ func (s *Server) Start() {
 	}
 }
 
-// Stop gracefully shuts the server down: new Infer calls fail immediately,
-// already-queued requests are batched, answered and counted, and the
-// scrubber exits after its current cycle. Stop returns once every
-// goroutine has finished; it is idempotent.
+// Stop gracefully shuts the server down: new submissions fail immediately
+// with ErrStopping, already-queued requests are batched, answered and
+// counted, and the scrubber exits after its current cycle. Stop returns
+// once every goroutine has finished; it is idempotent.
 func (s *Server) Stop() {
 	if !s.stopping.CompareAndSwap(false, true) {
 		return
@@ -220,22 +252,36 @@ func (s *Server) Stop() {
 	}
 }
 
-// Infer submits one input of shape (C, H, W) — or (1, C, H, W) — and
-// blocks until its result is ready. Safe for any number of concurrent
-// callers; concurrent submissions are what the batcher coalesces.
-func (s *Server) Infer(x *tensor.Tensor) (Result, error) {
-	ch, err := s.submit(x)
+// InferContext submits one input of shape (C, H, W) — or (1, C, H, W) —
+// and blocks until its result is ready or ctx is done. Cancellation is
+// honored at every stage: while waiting for space in the bounded request
+// queue, and while waiting for the batched forward pass (a request whose
+// context is cancelled before its batch runs is dropped by the workers
+// without being computed). Safe for any number of concurrent callers;
+// concurrent submissions are what the batcher coalesces.
+func (s *Server) InferContext(ctx context.Context, x *tensor.Tensor) (Result, error) {
+	ch, err := s.submit(ctx, x)
 	if err != nil {
 		return Result{}, err
 	}
-	return <-ch, nil
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
 }
 
-// submit validates and enqueues one input, returning the channel its
-// result will arrive on. Used by Infer and by the HTTP front-end (which
-// submits a whole JSON body before collecting, so multi-input requests
-// batch naturally).
-func (s *Server) submit(x *tensor.Tensor) (<-chan Result, error) {
+// Infer is InferContext with a background context.
+//
+// Deprecated: use InferContext (or the Service-level Infer), which honors
+// deadlines and cancellation in the batch queue.
+func (s *Server) Infer(x *tensor.Tensor) (Result, error) {
+	return s.InferContext(context.Background(), x)
+}
+
+// newRequest validates one input and wraps it for the queue.
+func (s *Server) newRequest(ctx context.Context, x *tensor.Tensor) (*request, error) {
 	shape := x.Shape
 	if len(shape) == 4 && shape[0] == 1 {
 		shape = shape[1:]
@@ -248,14 +294,50 @@ func (s *Server) submit(x *tensor.Tensor) (<-chan Result, error) {
 			return nil, fmt.Errorf("serve: input shape %v, want %v", shape, want)
 		}
 	}
-	r := &request{x: x, enq: time.Now(), out: make(chan Result, 1)}
+	return &request{ctx: ctx, x: x, enq: time.Now(), out: make(chan Result, 1)}, nil
+}
+
+// submit validates and enqueues one input, returning the channel its
+// result will arrive on. It blocks while the queue is full, bailing out
+// when ctx is done. Used by InferContext and by the HTTP front-ends
+// (which submit a whole JSON body before collecting, so multi-input
+// requests batch naturally).
+func (s *Server) submit(ctx context.Context, x *tensor.Tensor) (<-chan Result, error) {
+	r, err := s.newRequest(ctx, x)
+	if err != nil {
+		return nil, err
+	}
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.stopping.Load() || !s.started.Load() {
-		return nil, ErrServerClosed
+		return nil, ErrStopping
 	}
-	s.reqs <- r
-	return r.out, nil
+	select {
+	case s.reqs <- r:
+		return r.out, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// trySubmit is the non-blocking submit the async job path uses: a full
+// queue returns ErrQueueFull immediately instead of parking the caller.
+func (s *Server) trySubmit(ctx context.Context, x *tensor.Tensor) (<-chan Result, error) {
+	r, err := s.newRequest(ctx, x)
+	if err != nil {
+		return nil, err
+	}
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.stopping.Load() || !s.started.Load() {
+		return nil, ErrStopping
+	}
+	select {
+	case s.reqs <- r:
+		return r.out, nil
+	default:
+		return nil, ErrQueueFull
+	}
 }
 
 // Inject runs an adversary against the live model under whole-model write

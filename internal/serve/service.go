@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/qinfer"
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+// Request is one inference input addressed to a hosted model. An empty
+// Model selects the service's default model (the first one registered) —
+// the single-model deployment shorthand.
+type Request struct {
+	Model string
+	// Input is the (C, H, W) — or (1, C, H, W) — image.
+	Input *tensor.Tensor
+}
+
+// ServiceOption configures a Service under construction; see Open.
+type ServiceOption func(*serviceConfig) error
+
+// ModelOption tunes one registered model's serving Config; see WithModel.
+type ModelOption func(*Config)
+
+type modelSpec struct {
+	name string
+	eng  *qinfer.Engine
+	prot *core.Protector
+	cfg  Config
+}
+
+type serviceConfig struct {
+	models []modelSpec
+	jobCap int
+	jobTTL time.Duration
+}
+
+// DefaultJobCapacity bounds the async job table when WithJobCapacity is
+// not given.
+const DefaultJobCapacity = 1024
+
+// DefaultJobTTL is how long a completed job's result stays pollable when
+// WithJobTTL is not given.
+const DefaultJobTTL = time.Minute
+
+// WithModel registers one model under name: an int8 engine plus the
+// protector guarding the engine's weight image (the protector must
+// protect the same quant.Model the engine was compiled from — same
+// contract as New). Each model gets its own independently configured
+// runtime — batching queue, inference workers, background scrubber and
+// verified-fetch verifier — tuned by the ModelOptions. Names must be
+// non-empty, unique, and URL-safe (letters, digits, '.', '_', '-'); the
+// first model registered is the service's default.
+func WithModel(name string, eng *qinfer.Engine, prot *core.Protector, opts ...ModelOption) ServiceOption {
+	return func(sc *serviceConfig) error {
+		if err := validModelName(name); err != nil {
+			return err
+		}
+		if eng == nil || prot == nil {
+			return fmt.Errorf("serve: model %q needs a non-nil engine and protector", name)
+		}
+		cfg := DefaultConfig()
+		for _, o := range opts {
+			o(&cfg)
+		}
+		sc.models = append(sc.models, modelSpec{name: name, eng: eng, prot: prot, cfg: cfg})
+		return nil
+	}
+}
+
+// WithConfig replaces the model's whole serving Config (unset fields are
+// filled with defaults). Later ModelOptions still apply on top.
+func WithConfig(cfg Config) ModelOption {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithBatch sets the model's max batch size and batching latency window.
+func WithBatch(maxBatch int, maxLatency time.Duration) ModelOption {
+	return func(c *Config) { c.MaxBatch = maxBatch; c.MaxLatency = maxLatency }
+}
+
+// WithWorkers sets the model's inference worker count.
+func WithWorkers(n int) ModelOption {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithQueueDepth bounds the model's pending-request queue.
+func WithQueueDepth(n int) ModelOption {
+	return func(c *Config) { c.QueueDepth = n }
+}
+
+// WithVerifiedFetch toggles per-layer signature verification in the
+// weight-fetch path.
+func WithVerifiedFetch(on bool) ModelOption {
+	return func(c *Config) { c.VerifiedFetch = on }
+}
+
+// WithScrub sets the background scrub interval (0 disables) and how often
+// a cycle is a full pipelined DetectAndRecover instead of an incremental
+// ScanDirty.
+func WithScrub(interval time.Duration, fullEvery int) ModelOption {
+	return func(c *Config) { c.ScrubInterval = interval; c.ScrubFullEvery = fullEvery }
+}
+
+// WithInputShape pins the model's expected per-request input shape.
+func WithInputShape(ch, h, w int) ModelOption {
+	return func(c *Config) { c.InputShape = []int{ch, h, w} }
+}
+
+// WithJobCapacity bounds the async job table (default DefaultJobCapacity).
+// Submissions beyond it fail with ErrJobsFull instead of growing memory.
+func WithJobCapacity(n int) ServiceOption {
+	return func(sc *serviceConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("serve: job capacity %d, want > 0", n)
+		}
+		sc.jobCap = n
+		return nil
+	}
+}
+
+// WithJobTTL sets how long completed jobs stay pollable before they are
+// reaped (default DefaultJobTTL).
+func WithJobTTL(d time.Duration) ServiceOption {
+	return func(sc *serviceConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("serve: job TTL %v, want > 0", d)
+		}
+		sc.jobTTL = d
+		return nil
+	}
+}
+
+func validModelName(name string) error {
+	if name == "" {
+		return errors.New("serve: model name must not be empty")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("serve: model name %q not URL-safe (letters, digits, '.', '_', '-')", name)
+		}
+	}
+	return nil
+}
+
+// Service is the multi-model serving front-end: a registry of protected
+// model runtimes, a bounded async job table, and the versioned HTTP
+// control plane (Handler). Build with Open; Close shuts everything down
+// gracefully.
+type Service struct {
+	reg    *Registry
+	jobs   *jobTable
+	closed atomic.Bool
+}
+
+// Open builds and starts a Service from functional options. At least one
+// WithModel is required; every registered model's runtime (workers,
+// batcher, scrubber) is started before Open returns, so the service is
+// immediately ready to answer Infer/Submit and HTTP traffic.
+func Open(opts ...ServiceOption) (*Service, error) {
+	sc := serviceConfig{jobCap: DefaultJobCapacity, jobTTL: DefaultJobTTL}
+	for _, o := range opts {
+		if err := o(&sc); err != nil {
+			return nil, err
+		}
+	}
+	if len(sc.models) == 0 {
+		return nil, errors.New("serve: Open needs at least one WithModel")
+	}
+	reg := &Registry{byName: make(map[string]*hostedModel, len(sc.models))}
+	for _, ms := range sc.models {
+		if _, dup := reg.byName[ms.name]; dup {
+			return nil, fmt.Errorf("serve: duplicate model name %q", ms.name)
+		}
+		hm := &hostedModel{
+			name: ms.name,
+			eng:  ms.eng,
+			prot: ms.prot,
+			srv:  New(ms.eng, ms.prot, ms.cfg),
+		}
+		reg.byName[ms.name] = hm
+		reg.order = append(reg.order, ms.name)
+	}
+	for _, name := range reg.order {
+		reg.byName[name].srv.Start()
+	}
+	return &Service{reg: reg, jobs: newJobTable(sc.jobCap, sc.jobTTL)}, nil
+}
+
+// Close gracefully stops every hosted model: new submissions fail with
+// ErrStopping, queued requests (including pending async jobs) are still
+// answered, and the scrubbers exit. Idempotent.
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, name := range s.reg.order {
+		s.reg.byName[name].srv.Stop()
+	}
+}
+
+// Infer answers one request synchronously, honoring ctx deadlines and
+// cancellation while the input waits in the model's batch queue and while
+// the batched forward runs.
+func (s *Service) Infer(ctx context.Context, req Request) (Result, error) {
+	hm, err := s.reg.lookup(req.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	return hm.srv.InferContext(ctx, req.Input)
+}
+
+// Submit enqueues one request as an async job and returns immediately
+// with its ID — no goroutine or connection is parked waiting for the
+// result. The enqueue itself never blocks: a full batch queue fails fast
+// with ErrQueueFull, and the bounded job table fails with ErrJobsFull.
+// ctx governs the job's lifetime, not just the submission: cancelling it
+// before the result is computed cancels the job, drops its queued work,
+// and reaps it from the table. Pass a background context for
+// fire-and-forget jobs.
+func (s *Service) Submit(ctx context.Context, req Request) (JobID, error) {
+	hm, err := s.reg.lookup(req.Model)
+	if err != nil {
+		return "", err
+	}
+	j, err := s.jobs.create(hm.name)
+	if err != nil {
+		return "", err
+	}
+	ch, err := hm.srv.trySubmit(ctx, req.Input)
+	if err != nil {
+		s.jobs.abort(j.id)
+		return "", err
+	}
+	go s.jobs.watch(j, ctx, ch)
+	return j.id, nil
+}
+
+// Poll reports a job's current status without blocking. Unknown IDs —
+// never submitted, cancelled, or expired past the job TTL — return
+// ErrUnknownJob.
+func (s *Service) Poll(id JobID) (JobStatus, error) {
+	j, err := s.jobs.get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.jobs.status(j), nil
+}
+
+// Wait blocks until the job completes (returning its Result), the job is
+// cancelled (ErrJobCancelled), or ctx is done. The job stays pollable
+// after Wait until its TTL expires. A Wait that begins after a cancelled
+// job was already reaped sees ErrUnknownJob instead, like any lookup of
+// a reaped ID.
+func (s *Service) Wait(ctx context.Context, id JobID) (Result, error) {
+	j, err := s.jobs.get(id)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	st := s.jobs.status(j)
+	if st.State == JobCancelled || st.Result == nil {
+		return Result{}, ErrJobCancelled
+	}
+	return *st.Result, nil
+}
+
+// Models snapshots every hosted model's identity, configuration and live
+// metrics, in registration order.
+func (s *Service) Models() []ModelInfo {
+	out := make([]ModelInfo, 0, len(s.reg.order))
+	for _, name := range s.reg.order {
+		out = append(out, s.reg.byName[name].info())
+	}
+	return out
+}
+
+// Snapshot returns one model's live metrics (empty name: default model).
+func (s *Service) Snapshot(model string) (Snapshot, error) {
+	hm, err := s.reg.lookup(model)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return hm.srv.Snapshot(), nil
+}
+
+// Scrub forces one scrub cycle on the named model, or on every model when
+// name is empty, and reports what each cycle found. full selects the
+// pipelined whole-model DetectAndRecover over the incremental ScanDirty.
+func (s *Service) Scrub(model string, full bool) ([]AdminReport, error) {
+	var out []AdminReport
+	err := s.reg.each(model, func(hm *hostedModel) error {
+		out = append(out, hm.scrub(full))
+		return nil
+	})
+	return out, err
+}
+
+// Rekey rotates the named model's protection secrets live (every model
+// when name is empty): a full scrub first, then fresh per-layer keys and
+// offsets with all golden signatures recomputed under whole-model write
+// exclusion. Traffic keeps flowing; only the exclusive recompute itself
+// briefly stalls fetches.
+func (s *Service) Rekey(model string) ([]AdminReport, error) {
+	var out []AdminReport
+	err := s.reg.each(model, func(hm *hostedModel) error {
+		out = append(out, hm.rekey())
+		return nil
+	})
+	return out, err
+}
+
+// Inject runs an adversary against the named model's live weight image
+// under whole-model write exclusion (empty name: default model) — the
+// attack-injection hook tests and benchmarks mount rowhammer profiles
+// through.
+func (s *Service) Inject(model string, f func(*quant.Model)) error {
+	hm, err := s.reg.lookup(model)
+	if err != nil {
+		return err
+	}
+	hm.inject(f)
+	return nil
+}
+
+// Protector exposes the named model's protector (empty name: default
+// model), e.g. for stats or a quiesced final sweep in tests.
+func (s *Service) Protector(model string) (*core.Protector, error) {
+	hm, err := s.reg.lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return hm.prot, nil
+}

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/model"
+	"radar/internal/qinfer"
+	"radar/internal/quant"
+	"radar/internal/tensor"
+)
+
+// tinyModelOption builds one independent tiny-model registration (fresh
+// bundle per call, so tests may corrupt weights freely) and returns the
+// bundle + protector alongside the option.
+func tinyModelOption(t testing.TB, name string, opts ...ModelOption) (ServiceOption, *model.Bundle, *core.Protector) {
+	t.Helper()
+	b := model.Load(model.TinySpec())
+	calib, _ := b.Attack.Batch(0, 64)
+	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	prot := core.Protect(b.QModel, core.DefaultConfig(4))
+	all := append([]ModelOption{
+		WithInputShape(b.Spec.Data.Channels, b.Spec.Data.Size, b.Spec.Data.Size),
+	}, opts...)
+	return WithModel(name, eng, prot, all...), b, prot
+}
+
+// openTiny opens a service hosting n independent tiny models named
+// m0..m{n-1}, with per-model extra options applied to all of them.
+func openTiny(t testing.TB, n int, extra []ModelOption, svcOpts ...ServiceOption) (*Service, []*model.Bundle, []*core.Protector) {
+	t.Helper()
+	names := []string{"m0", "m1", "m2"}[:n]
+	bundles := make([]*model.Bundle, n)
+	prots := make([]*core.Protector, n)
+	opts := append([]ServiceOption(nil), svcOpts...)
+	for i, name := range names {
+		var o ServiceOption
+		o, bundles[i], prots[i] = tinyModelOption(t, name, extra...)
+		opts = append(opts, o)
+	}
+	svc, err := Open(opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, bundles, prots
+}
+
+// wedge write-locks every layer of the named model so its inference
+// workers (and verifier) block, letting tests saturate queues
+// deterministically. The returned func releases the wedge.
+func wedge(t testing.TB, svc *Service, name string) func() {
+	t.Helper()
+	hm, err := svc.reg.lookup(name)
+	if err != nil {
+		t.Fatalf("lookup %q: %v", name, err)
+	}
+	hm.srv.guard.LockAll()
+	released := false
+	return func() {
+		if !released {
+			released = true
+			hm.srv.guard.UnlockAll()
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(); err == nil {
+		t.Fatal("Open with no models succeeded")
+	}
+	o1, _, _ := tinyModelOption(t, "dup")
+	o2, _, _ := tinyModelOption(t, "dup")
+	if _, err := Open(o1, o2); err == nil {
+		t.Fatal("duplicate model names accepted")
+	}
+	bad, _, _ := tinyModelOption(t, "no/slashes")
+	if _, err := Open(bad); err == nil {
+		t.Fatal("non-URL-safe model name accepted")
+	}
+	if _, err := Open(WithModel("x", nil, nil)); err == nil {
+		t.Fatal("nil engine/protector accepted")
+	}
+	if _, err := Open(WithJobCapacity(0)); err == nil {
+		t.Fatal("zero job capacity accepted")
+	}
+}
+
+// TestTwoModelsConcurrent serves two independently protected models from
+// one service and checks that routed answers match each model's direct
+// engine output, batch queues and metrics stay separate, and unknown
+// names fail typed.
+func TestTwoModelsConcurrent(t *testing.T) {
+	o0, b0, _ := tinyModelOption(t, "m0")
+	o1, b1, _ := tinyModelOption(t, "m1")
+
+	// Reference answers before the engines are handed to the service.
+	refs := make([]*tensor.Tensor, 2)
+	for i, b := range []*model.Bundle{b0, b1} {
+		calib, _ := b.Attack.Batch(0, 64)
+		eng, err := qinfer.Compile(b.Net, b.QModel, calib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := b.Test.Batch(0, 8)
+		refs[i] = eng.Forward(x)
+	}
+
+	svc, err := Open(o0, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	x0, _ := b0.Test.Batch(0, 8)
+	x1, _ := b1.Test.Batch(0, 8)
+	type answer struct {
+		model int
+		idx   int
+		res   Result
+	}
+	results := make(chan answer, 16)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			res, err := svc.Infer(ctx, Request{Model: "m0", Input: sample(x0, i)})
+			if err != nil {
+				t.Errorf("m0 %d: %v", i, err)
+			}
+			results <- answer{0, i, res}
+		}(i)
+		go func(i int) {
+			res, err := svc.Infer(ctx, Request{Model: "m1", Input: sample(x1, i)})
+			if err != nil {
+				t.Errorf("m1 %d: %v", i, err)
+			}
+			results <- answer{1, i, res}
+		}(i)
+	}
+	for n := 0; n < 16; n++ {
+		a := <-results
+		ref := refs[a.model]
+		k := ref.Shape[1]
+		if want := ref.Argmax(a.idx*k, k); a.res.Class != want {
+			t.Fatalf("model m%d input %d: served class %d, direct engine %d",
+				a.model, a.idx, a.res.Class, want)
+		}
+	}
+
+	infos := svc.Models()
+	if len(infos) != 2 || infos[0].Name != "m0" || infos[1].Name != "m1" {
+		t.Fatalf("Models(): %+v", infos)
+	}
+	for _, info := range infos {
+		if info.Metrics.Requests != 8 {
+			t.Fatalf("model %s counted %d requests, want 8 (metrics must be per-model)",
+				info.Name, info.Metrics.Requests)
+		}
+	}
+
+	if _, err := svc.Infer(ctx, Request{Model: "nope", Input: sample(x0, 0)}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model returned %v, want ErrUnknownModel", err)
+	}
+	// The empty name routes to the default (first-registered) model.
+	if _, err := svc.Infer(ctx, Request{Input: sample(x0, 0)}); err != nil {
+		t.Fatalf("default-model routing failed: %v", err)
+	}
+}
+
+// TestIndependentScrubLoops: two live scrubbers, one per model; an attack
+// on m0 is caught by m0's loop while m1's loop keeps cycling without ever
+// flagging anything.
+func TestIndependentScrubLoops(t *testing.T) {
+	svc, _, _ := openTiny(t, 2, []ModelOption{
+		WithScrub(2*time.Millisecond, 4),
+		WithVerifiedFetch(false), // isolate the scrubbers
+	})
+
+	if err := svc.Inject("m0", func(m *quant.Model) {
+		m.FlipBit(quant.BitAddress{LayerIndex: 0, WeightIndex: 5, Bit: quant.MSB})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := svc.Snapshot("m0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.ScrubFlagged > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("m0's scrubber never caught the flip: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// m1's loop must cycle on its own schedule — and stay clean.
+	var s1 Snapshot
+	for {
+		var err error
+		s1, err = svc.Snapshot("m1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.ScrubCycles > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("m1's scrubber never ran — loops are not independent")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s1.ScrubFlagged != 0 || s1.GroupsFlagged != 0 {
+		t.Fatalf("attack on m0 leaked into m1's accounting: %+v", s1)
+	}
+}
+
+// TestInferContextCancellation is the acceptance check: with the queue
+// saturated (workers wedged, bounded queue full), a cancelled context
+// must make Infer return promptly instead of parking the caller.
+func TestInferContextCancellation(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{
+		WithScrub(0, 0),
+		WithWorkers(1),
+		WithBatch(1, time.Millisecond),
+		WithQueueDepth(1),
+	})
+	x, _ := b[0].Test.Batch(0, 4)
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	// Saturate: non-blocking submissions until the bounded queue refuses.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)})
+		if errors.Is(err, ErrQueueFull) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never saturated")
+		}
+	}
+
+	// Already-cancelled context: the submit select must bail immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	if _, err := svc.Infer(ctx, Request{Input: sample(x, 1)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Infer on saturated queue returned %v, want context.Canceled", err)
+	}
+	if dt := time.Since(t0); dt > time.Second {
+		t.Fatalf("cancelled Infer took %v to return", dt)
+	}
+
+	// Cancellation mid-flight: a request already accepted into the queue
+	// must abandon its wait when the context dies.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	t0 = time.Now()
+	if _, err := svc.Infer(ctx2, Request{Input: sample(x, 2)}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-bound Infer returned %v, want DeadlineExceeded", err)
+	}
+	if dt := time.Since(t0); dt > 5*time.Second {
+		t.Fatalf("deadline-bound Infer took %v to return", dt)
+	}
+
+	release()
+	// Drain so Close (t.Cleanup) does not inherit a wedged queue; the
+	// cancelled requests are dropped by the workers without computation.
+	snap, _ := svc.Snapshot("m0")
+	_ = snap
+}
+
+// TestStoppingTyped: submissions racing Close fail with ErrStopping
+// (errors.Is-able), on both the sync and async paths.
+func TestStoppingTyped(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	x, _ := b[0].Test.Batch(0, 1)
+	svc.Close()
+	if _, err := svc.Infer(context.Background(), Request{Input: sample(x, 0)}); !errors.Is(err, ErrStopping) {
+		t.Fatalf("Infer after Close returned %v, want ErrStopping", err)
+	}
+	if _, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)}); !errors.Is(err, ErrStopping) {
+		t.Fatalf("Submit after Close returned %v, want ErrStopping", err)
+	}
+	svc.Close() // idempotent
+}
+
+// TestRekeyLive rotates a serving model's secrets mid-traffic: the
+// schemes must actually change, answers must be unaffected, and a flip
+// mounted after the rekey must still be detected and recovered by the
+// new golden signatures.
+func TestRekeyLive(t *testing.T) {
+	svc, b, prots := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	prot := prots[0]
+	x, _ := b[0].Test.Batch(0, 4)
+	ctx := context.Background()
+
+	base, err := svc.Infer(ctx, Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]core.Scheme(nil), prot.Schemes...)
+
+	reports, err := svc.Rekey("m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || !reports[0].Rekeyed {
+		t.Fatalf("rekey reports: %+v", reports)
+	}
+	if reflect.DeepEqual(before, prot.Schemes) {
+		t.Fatal("rekey did not rotate the per-layer secrets")
+	}
+
+	// Clean weights + fresh golden: same answer, no false flags.
+	res, err := svc.Infer(ctx, Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != base.Class {
+		t.Fatalf("rekey changed a clean answer: %d -> %d", base.Class, res.Class)
+	}
+	snap, _ := svc.Snapshot("m0")
+	if snap.VerifyFlagged != 0 {
+		t.Fatalf("rekey produced false positives: %+v", snap)
+	}
+
+	// The new signatures must still defend the image.
+	if err := svc.Inject("m0", func(m *quant.Model) {
+		m.FlipBit(quant.BitAddress{LayerIndex: 0, WeightIndex: 3, Bit: quant.MSB})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Infer(ctx, Request{Input: sample(x, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = svc.Snapshot("m0")
+	if snap.VerifyFlagged == 0 || snap.VerifyZeroed == 0 {
+		t.Fatalf("post-rekey flip was not detected: %+v", snap)
+	}
+	if flagged, _ := prot.DetectAndRecover(); len(flagged) != 0 {
+		t.Fatalf("post-rekey corruption survived: %v", flagged)
+	}
+
+	snap, _ = svc.Snapshot("m0")
+	if snap.Rekeys != 1 {
+		t.Fatalf("rekey metric %d, want 1", snap.Rekeys)
+	}
+}
+
+// TestAdminScrubAllModels: an empty model name fans the admin scrub out
+// to every hosted model, and only the corrupted one reports findings —
+// including corruption written past the model API (a true hardware flip).
+func TestAdminScrubAllModels(t *testing.T) {
+	svc, b, _ := openTiny(t, 2, []ModelOption{WithScrub(0, 0), WithVerifiedFetch(false)})
+	l := b[0].QModel.Layers[1]
+	if err := svc.Inject("m0", func(m *quant.Model) {
+		l.Q[7] = quant.FlipBit(l.Q[7], quant.MSB) // direct write, no notify
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := svc.Scrub("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("scrub \"\" hit %d models, want 2", len(reports))
+	}
+	if reports[0].Model != "m0" || reports[0].Flagged == 0 || reports[0].Zeroed == 0 {
+		t.Fatalf("m0's corruption missed: %+v", reports[0])
+	}
+	if reports[1].Model != "m1" || reports[1].Flagged != 0 {
+		t.Fatalf("m1 falsely flagged: %+v", reports[1])
+	}
+	if _, err := svc.Scrub("nope", true); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("scrub of unknown model: %v", err)
+	}
+}

@@ -18,6 +18,12 @@
 // writes made through the QuantModel API and re-scans only the layers
 // touched since their last scan, skipping clean layers entirely.
 //
+// For deployment, serving.go re-exports the protected inference service
+// (internal/serve): OpenService hosts any number of protected int8 models
+// behind one context-aware client surface — sync Infer with deadlines
+// honored into the batch queue, an async job API (Submit/Poll/Wait), and
+// a versioned HTTP control plane with live admin scrub/rekey.
+//
 // The heavy machinery lives in internal packages: internal/core (the
 // scheme), internal/quant (quantization and bit manipulation), internal/nn
 // and internal/tensor (the inference/training stack), internal/attack

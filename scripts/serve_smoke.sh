@@ -1,35 +1,88 @@
 #!/usr/bin/env bash
-# Boots radar-serve against the tiny testdata checkpoint and smoke-tests
-# the HTTP API: /healthz must report ok, /infer must classify, /metrics
-# must count the request. Used by `make serve-smoke` and the CI
-# serve-integration job.
+# Boots radar-serve with TWO models on the tiny testdata checkpoint and
+# smoke-tests the v1 HTTP control plane end to end: /v1/models must list
+# both models, a sync infer must classify, an async job must round-trip
+# submit → poll → done, an admin rekey must answer rekeyed=true, and the
+# deprecated pre-v1 shims must still work (with a Deprecation header).
+# Used by `make serve-smoke` and the CI serve-integration job.
 set -euo pipefail
 
 BIN=${1:-./radar-serve}
 ADDR=127.0.0.1:18080
 LOG=$(mktemp)
 
-"$BIN" -model tiny -addr "$ADDR" -scrub 50ms >"$LOG" 2>&1 &
+"$BIN" -model a=tiny -model b=tiny -addr "$ADDR" -scrub 50ms >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; cat "$LOG"' EXIT
 
-# Wait for the server to come up (tiny checkpoint loads in well under 10s).
+# Wait for the service to come up (tiny checkpoints load in well under 10s).
 up=""
 for _ in $(seq 1 50); do
-    if curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
+    if curl -fs "http://$ADDR/v1/models" >/dev/null 2>&1; then up=1; break; fi
     sleep 0.2
 done
 [ -n "$up" ] || { echo "server never came up"; exit 1; }
 
-curl -fs "http://$ADDR/healthz" | grep -q '"ok"' || { echo "healthz not ok"; exit 1; }
+# Both models are hosted and healthy.
+models=$(curl -fs "http://$ADDR/v1/models")
+echo "$models" | grep -q '"name": "a"' || { echo "/v1/models missing model a"; exit 1; }
+echo "$models" | grep -q '"name": "b"' || { echo "/v1/models missing model b"; exit 1; }
+echo "$models" | grep -q '"healthy": true' || { echo "models not healthy"; exit 1; }
 
 # One 3x8x8 input (the tiny spec's shape), all values 0.1.
 payload=$(awk 'BEGIN{printf "{\"input\":["; for(i=0;i<192;i++){printf "%s0.1",(i?",":"")}; printf "]}"}')
-curl -fs -X POST -d "$payload" "http://$ADDR/infer" | grep -q '"class"' || { echo "infer failed"; exit 1; }
 
-curl -fs "http://$ADDR/metrics" | grep -q '"requests": 1' || { echo "metrics missed the request"; exit 1; }
+# Sync inference against model a.
+curl -fs -X POST -d "$payload" "http://$ADDR/v1/models/a/infer" | grep -q '"class"' \
+    || { echo "v1 sync infer failed"; exit 1; }
+
+# Unknown model names must 404.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$payload" "http://$ADDR/v1/models/nope/infer")
+[ "$code" = "404" ] || { echo "unknown model answered $code, want 404"; exit 1; }
+
+# Async job round trip against model b: submit → poll until done.
+job=$(curl -fs -X POST -d "$payload" "http://$ADDR/v1/models/b/jobs")
+echo "$job" | grep -q '"id"' || { echo "job submit failed: $job"; exit 1; }
+jid=$(echo "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$jid" ] || { echo "no job id in: $job"; exit 1; }
+done=""
+for _ in $(seq 1 50); do
+    st=$(curl -fs "http://$ADDR/v1/jobs/$jid")
+    if echo "$st" | grep -q '"state": "done"'; then
+        echo "$st" | grep -q '"class"' || { echo "done job has no result: $st"; exit 1; }
+        done=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$done" ] || { echo "job $jid never completed"; exit 1; }
+
+# Live admin rekey of model a, then an admin scrub of everything.
+curl -fs -X POST -d '{"model":"a"}' "http://$ADDR/v1/admin/rekey" | grep -q '"rekeyed": true' \
+    || { echo "admin rekey failed"; exit 1; }
+curl -fs -X POST -d '{"full":true}' "http://$ADDR/v1/admin/scrub" | grep -q '"model": "b"' \
+    || { echo "admin scrub did not cover both models"; exit 1; }
+
+# Model a must still classify after the rekey.
+curl -fs -X POST -d "$payload" "http://$ADDR/v1/models/a/infer" | grep -q '"class"' \
+    || { echo "post-rekey infer failed"; exit 1; }
+
+# Deprecated pre-v1 shims: still answering, flagged as deprecated, and
+# routed to the default model.
+legacy=$(curl -fsi -X POST -d "$payload" "http://$ADDR/infer")
+echo "$legacy" | grep -qi '^deprecation:' || { echo "/infer lacks Deprecation header"; exit 1; }
+echo "$legacy" | grep -q '"class"' || { echo "legacy /infer failed"; exit 1; }
+curl -fs "http://$ADDR/healthz" | grep -q '"ok"' || { echo "legacy healthz not ok"; exit 1; }
+curl -fs "http://$ADDR/metrics" | grep -q '"requests"' || { echo "legacy metrics failed"; exit 1; }
+
+# Per-model accounting: model a served 3 sync requests (2 v1 + 1 legacy
+# via the default-model shim), model b served the async job.
+curl -fs "http://$ADDR/v1/models/a" | grep -q '"requests": 3' \
+    || { echo "model a request count off"; curl -fs "http://$ADDR/v1/models/a"; exit 1; }
+curl -fs "http://$ADDR/v1/models/b" | grep -q '"requests": 1' \
+    || { echo "model b request count off"; curl -fs "http://$ADDR/v1/models/b"; exit 1; }
 
 kill -TERM "$PID"
 wait "$PID" 2>/dev/null || true
 trap - EXIT
-echo "serve smoke OK"
+echo "serve smoke OK (2 models, sync + async job + admin rekey/scrub + legacy shims)"
