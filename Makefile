@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-artifacts bench-compare serve-smoke lint fmt
+.PHONY: build test race bench bench-smoke bench-artifacts bench-gate bench-compare serve-smoke fleet-smoke lint fmt
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,21 @@ bench-smoke:
 	$(GO) test -bench='Conv' -benchtime=1x -run '^$$' ./internal/qinfer/
 
 # Machine-readable perf artifacts: the scan worker sweep (with the
-# old-vs-new checksum kernel record) and the serving-under-attack sweep.
+# old-vs-new checksum kernel record), the serving-under-attack sweep and
+# the fleet routing/availability sweep. BENCH_OUT redirects the output
+# directory (default: repo root, i.e. the committed baselines).
+BENCH_OUT ?= .
 bench-artifacts:
-	$(GO) run ./cmd/radar-bench -exp scanscale
-	$(GO) run ./cmd/radar-bench -exp servescale
+	$(GO) run ./cmd/radar-bench -exp scanscale -json $(BENCH_OUT)/BENCH_scanscale.json
+	$(GO) run ./cmd/radar-bench -exp servescale -json $(BENCH_OUT)/BENCH_servescale.json
+	$(GO) run ./cmd/radar-bench -exp fleetscale -json $(BENCH_OUT)/BENCH_fleetscale.json
+
+# CI perf-regression gate: regenerate fresh artifacts and compare them
+# against the committed BENCH_*.json baselines; fails on a >MAX_DROP%
+# drop in any tracked metric. `[bench-skip]` in the last commit message
+# skips the gate. Usage: make bench-gate [MAX_DROP=10].
+bench-gate:
+	./scripts/bench_compare.sh --gate $(MAX_DROP)
 
 # Benchstat-style diff of benchmarks between HEAD and a base ref
 # (default: previous commit). Usage: make bench-compare [REF=<git-ref>]
@@ -45,6 +56,14 @@ serve-smoke:
 	$(GO) build -o radar-serve ./cmd/radar-serve
 	./scripts/serve_smoke.sh ./radar-serve
 	rm -f radar-serve
+
+# Boot three radar-serve replicas behind radar-fleet and exercise routed
+# traffic, a mid-traffic replica kill and a rolling rekey.
+fleet-smoke:
+	$(GO) build -o radar-serve ./cmd/radar-serve
+	$(GO) build -o radar-fleet ./cmd/radar-fleet
+	./scripts/fleet_smoke.sh ./radar-serve ./radar-fleet
+	rm -f radar-serve radar-fleet
 
 lint:
 	$(GO) vet ./...

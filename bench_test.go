@@ -7,6 +7,7 @@
 package radar_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -346,23 +347,26 @@ func BenchmarkServe(b *testing.B) {
 			} else {
 				cfg.ScrubInterval = 0
 			}
-			srv := serve.New(eng, prot, cfg)
-			srv.Start()
-			defer srv.Stop()
+			svc, err := serve.Open(serve.WithModel("bench", eng, prot, serve.WithConfig(cfg)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
 			x, _ := bundle.Test.Batch(0, 1)
 			in := tensor.New(x.Shape[1:]...)
 			copy(in.Data, x.Data)
+			ctx := context.Background()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := srv.Infer(in); err != nil {
+					if _, err := svc.Infer(ctx, serve.Request{Input: in}); err != nil {
 						b.Error(err)
 						return
 					}
 				}
 			})
 			b.StopTimer()
-			snap := srv.Snapshot()
+			snap, _ := svc.Snapshot("")
 			if snap.AvgBatch > 0 {
 				b.ReportMetric(snap.AvgBatch, "reqs/batch")
 			}

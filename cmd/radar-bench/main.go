@@ -5,18 +5,26 @@
 //
 // Usage:
 //
-//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale] [-scale quick|full] [-json path]
+//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale|fleetscale] [-scale quick|full] [-json path]
+//	radar-bench -gate -baseline DIR -fresh DIR [-max-drop 10]
 //
 // The scanscale experiment sweeps the parallel scan engine's worker pool
 // (1/2/4/GOMAXPROCS) over a full-scale ResNet-18 weight image and reports
 // per-sweep throughput and speedup plus the single-thread old-vs-new
 // checksum kernel comparison. The servescale experiment measures the
 // protected inference server's requests/sec under a live bit-flip
-// adversary with the scrubber and verified weight-fetch toggled. Both
-// write machine-readable JSON artifacts — BENCH_scanscale.json and
-// BENCH_servescale.json — to per-experiment default paths, or to the
-// -json path when set explicitly (meaningful only when running a single
-// JSON-capable experiment).
+// adversary with the scrubber and verified weight-fetch toggled. The
+// fleetscale experiment boots three full services behind the radar-fleet
+// consistent-hash router and measures routed throughput and availability
+// through a mid-traffic replica kill and a rolling rekey. All three write
+// machine-readable JSON artifacts — BENCH_scanscale.json,
+// BENCH_servescale.json, BENCH_fleetscale.json — to per-experiment default
+// paths, or to the -json path when set explicitly (meaningful only when
+// running a single JSON-capable experiment).
+//
+// -gate compares the artifacts in -fresh against the committed baselines
+// in -baseline and exits 1 when any tracked higher-is-better metric
+// dropped more than -max-drop percent — the CI perf-regression gate.
 package main
 
 import (
@@ -31,8 +39,29 @@ import (
 func main() {
 	which := flag.String("exp", "all", "experiment id (see DESIGN.md per-experiment index)")
 	scale := flag.String("scale", "full", "statistics scale: quick or full")
-	jsonPath := flag.String("json", "", "output path for machine-readable results of JSON-capable experiments (scanscale, servescale); default BENCH_<exp>.json per experiment")
+	jsonPath := flag.String("json", "", "output path for machine-readable results of JSON-capable experiments (scanscale, servescale, fleetscale); default BENCH_<exp>.json per experiment")
+	gate := flag.Bool("gate", false, "perf-regression gate: compare -fresh artifacts against -baseline and exit 1 on regression")
+	baselineDir := flag.String("baseline", ".", "gate: directory holding the committed baseline BENCH_*.json artifacts")
+	freshDir := flag.String("fresh", "", "gate: directory holding freshly generated BENCH_*.json artifacts")
+	maxDrop := flag.Float64("max-drop", 10, "gate: tolerated drop in percent before a metric fails")
 	flag.Parse()
+
+	if *gate {
+		if *freshDir == "" {
+			fmt.Fprintln(os.Stderr, "-gate requires -fresh DIR")
+			os.Exit(2)
+		}
+		res, err := exp.GateArtifacts(*baselineDir, *freshDir, *maxDrop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(res.Render())
+		if res.Regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var opt exp.Options
 	switch *scale {
@@ -86,6 +115,11 @@ func main() {
 		{"servescale", func() string {
 			r := exp.ServeScaling()
 			writeJSON(artifactPath(*jsonPath, "servescale"), r.WriteJSON)
+			return r.Render()
+		}},
+		{"fleetscale", func() string {
+			r := exp.FleetScaling()
+			writeJSON(artifactPath(*jsonPath, "fleetscale"), r.WriteJSON)
 			return r.Render()
 		}},
 	}

@@ -1,0 +1,102 @@
+// Command radar-fleet is the consistent-hash router in front of a set of
+// radar-serve replicas. It exposes the same /v1 data plane as a single
+// replica — clients cannot tell the difference — and routes each model's
+// traffic to the replica that owns it on the hash ring, with automatic
+// failover, health-based ejection, and a fleet admin plane.
+//
+// Usage:
+//
+//	radar-fleet -replica http://10.0.0.1:8080 -replica http://10.0.0.2:8080 \
+//	            -replica http://10.0.0.3:8080 \
+//	            [-addr :9090] [-vnodes 64] [-health-interval 1s]
+//	            [-health-timeout 2s] [-fail-threshold 2] [-drain-wait 500ms]
+//
+// Endpoints:
+//
+//	POST   /v1/models/{name}/infer  routed by ring owner, failover retry
+//	POST   /v1/models/{name}/jobs   routed by owner, job pinned to replica
+//	GET    /v1/jobs/{id}            sticky poll on the minting replica
+//	DELETE /v1/jobs/{id}            sticky cancel
+//	GET    /v1/models               merged listing with per-model owners
+//	GET    /v1/models/{name}        routed by owner
+//	POST   /v1/admin/scrub          broadcast scrub sweep
+//	POST   /v1/admin/rekey          zero-downtime rolling rekey
+//	POST   /v1/admin/models/{name}  broadcast hot-add
+//	DELETE /v1/admin/models/{name}  broadcast hot-remove
+//	GET    /v1/fleet                replica health and ring membership
+//
+// SIGINT/SIGTERM drains the HTTP listener, then stops the health prober.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"radar/internal/fleet"
+)
+
+// replicaFlag collects repeatable -replica base URLs.
+type replicaFlag []string
+
+func (r *replicaFlag) String() string { return strings.Join(*r, ",") }
+func (r *replicaFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var replicas replicaFlag
+	flag.Var(&replicas, "replica", "radar-serve replica base URL (e.g. http://10.0.0.1:8080); repeatable")
+	var (
+		addr           = flag.String("addr", ":9090", "HTTP listen address")
+		vnodes         = flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		healthInterval = flag.Duration("health-interval", time.Second, "health probe interval")
+		healthTimeout  = flag.Duration("health-timeout", 2*time.Second, "health probe timeout")
+		failThreshold  = flag.Int("fail-threshold", 2, "consecutive probe failures before a replica is ejected")
+		drainWait      = flag.Duration("drain-wait", 500*time.Millisecond, "settle time after draining a replica during rolling rekey")
+	)
+	flag.Parse()
+	if len(replicas) == 0 {
+		log.Fatal("at least one -replica is required")
+	}
+
+	f, err := fleet.New(fleet.Config{
+		Replicas:       replicas,
+		VNodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		FailThreshold:  *failThreshold,
+		DrainWait:      *drainWait,
+	})
+	if err != nil {
+		log.Fatalf("fleet: %v", err)
+	}
+	f.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: f.Handler()}
+	go func() {
+		log.Printf("routing %d replica(s) [%s] on %s — vnodes=%d probe=%v eject-after=%d",
+			len(replicas), strings.Join(replicas, ", "), *addr, *vnodes, *healthInterval, *failThreshold)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	f.Stop()
+}

@@ -18,13 +18,15 @@
 //
 // Endpoints (see the README "Serving" section for curl examples):
 //
-//	POST /v1/models/{name}/infer  sync inference
-//	POST /v1/models/{name}/jobs   async job submit → 202 + job ID
-//	GET  /v1/jobs/{id}            poll a job
-//	GET  /v1/models               hosted models, health, live metrics
-//	POST /v1/admin/scrub          force a scrub cycle now
-//	POST /v1/admin/rekey          rotate protection secrets live
-//	POST /infer, GET /healthz, GET /metrics   deprecated pre-v1 shims
+//	POST   /v1/models/{name}/infer  sync inference
+//	POST   /v1/models/{name}/jobs   async job submit → 202 + job ID
+//	GET    /v1/jobs/{id}            poll a job
+//	DELETE /v1/jobs/{id}            cancel a job
+//	GET    /v1/models               hosted models, health, live metrics
+//	POST   /v1/admin/scrub          force a scrub cycle now
+//	POST   /v1/admin/rekey          rotate protection secrets live
+//	POST   /v1/admin/models/{name}  hot-add a zoo model ({"source":"tiny"})
+//	DELETE /v1/admin/models/{name}  hot-remove a model
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the HTTP listener drains,
 // queued requests (including pending jobs) are answered, then the
@@ -91,7 +93,51 @@ func main() {
 		return model.Spec{}, false
 	}
 
-	opts := []serve.ServiceOption{serve.WithJobCapacity(*jobs)}
+	// buildModel compiles one zoo model into an engine + protector pair
+	// under the process-wide tuning flags — shared by startup registration
+	// and the hot-add admin route.
+	buildModel := func(zoo string) (*qinfer.Engine, *core.Protector, serve.Config, error) {
+		spec, ok := specOf(zoo)
+		if !ok {
+			return nil, nil, serve.Config{}, fmt.Errorf("unknown zoo model %q", zoo)
+		}
+		bundle := model.Load(spec)
+		calib, _ := bundle.Attack.Batch(0, 64)
+		eng, err := qinfer.Compile(bundle.Net, bundle.QModel, calib)
+		if err != nil {
+			return nil, nil, serve.Config{}, fmt.Errorf("compile int8 engine for %q: %w", zoo, err)
+		}
+		pcfg := core.DefaultConfig(*g)
+		pcfg.Workers = *scanWk
+		prot := core.Protect(bundle.QModel, pcfg)
+		return eng, prot, serve.Config{
+			MaxBatch:       *batch,
+			MaxLatency:     *batchLat,
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			VerifiedFetch:  *verify,
+			ScrubInterval:  *scrub,
+			ScrubFullEvery: *scrubFull,
+			InputShape:     []int{spec.Data.Channels, spec.Data.Size, spec.Data.Size},
+		}, nil
+	}
+
+	// The provider behind POST /v1/admin/models/{name}: the request's
+	// source string is a zoo model name, built with the same tuning as the
+	// startup -model registrations.
+	provider := func(name, source string) (*qinfer.Engine, *core.Protector, []serve.ModelOption, error) {
+		eng, prot, cfg, err := buildModel(source)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		log.Printf("hot-adding zoo model %q as %q", source, name)
+		return eng, prot, []serve.ModelOption{serve.WithConfig(cfg)}, nil
+	}
+
+	opts := []serve.ServiceOption{
+		serve.WithJobCapacity(*jobs),
+		serve.WithModelProvider(provider),
+	}
 	type hosted struct {
 		name string
 		spec model.Spec
@@ -108,28 +154,14 @@ func main() {
 			os.Exit(2)
 		}
 		log.Printf("loading %s as %q (training on first use; cached under testdata/models)", spec.Name, name)
-		bundle := model.Load(spec)
-		calib, _ := bundle.Attack.Batch(0, 64)
-		eng, err := qinfer.Compile(bundle.Net, bundle.QModel, calib)
+		eng, prot, cfg, err := buildModel(zoo)
 		if err != nil {
-			log.Fatalf("compile int8 engine for %q: %v", name, err)
+			log.Fatalf("%v", err)
 		}
-		pcfg := core.DefaultConfig(*g)
-		pcfg.Workers = *scanWk
-		prot := core.Protect(bundle.QModel, pcfg)
-		log.Printf("model %q: %d layers, %d groups (G=%d), clean accuracy %s",
-			name, len(bundle.QModel.Layers), prot.NumGroups(), *g, bundle.MustClean())
+		log.Printf("model %q: %d layers, %d groups (G=%d)",
+			name, len(prot.Model.Layers), prot.NumGroups(), *g)
 
-		opts = append(opts, serve.WithModel(name, eng, prot, serve.WithConfig(serve.Config{
-			MaxBatch:       *batch,
-			MaxLatency:     *batchLat,
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			VerifiedFetch:  *verify,
-			ScrubInterval:  *scrub,
-			ScrubFullEvery: *scrubFull,
-			InputShape:     []int{spec.Data.Channels, spec.Data.Size, spec.Data.Size},
-		})))
+		opts = append(opts, serve.WithModel(name, eng, prot, serve.WithConfig(cfg)))
 		hostedModels = append(hostedModels, hosted{name: name, spec: spec})
 	}
 

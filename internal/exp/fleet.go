@@ -1,0 +1,325 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"radar/internal/attack"
+	"radar/internal/core"
+	"radar/internal/fleet"
+	"radar/internal/model"
+	"radar/internal/quant"
+	"radar/internal/rowhammer"
+	"radar/internal/serve"
+	"radar/internal/tensor"
+)
+
+// FleetPhase is one traffic phase of the fleet experiment.
+type FleetPhase struct {
+	// Name labels the phase: steady, replica-kill, rolling-rekey.
+	Name string `json:"name"`
+	// Requests issued, Failures among them (non-2xx or transport error).
+	Requests int `json:"requests"`
+	Failures int `json:"failures"`
+	// Seconds of wall time → RPS over the phase.
+	Seconds float64 `json:"seconds"`
+	RPS     float64 `json:"rps"`
+	// SuccessRate is (Requests-Failures)/Requests.
+	SuccessRate float64 `json:"success_rate"`
+}
+
+// FleetScalingResult is the fleet benchmark: a consistent-hash router in
+// front of live radar-serve replicas (each hosting every model, each under
+// bit-flip attack), driven through three phases — steady routed traffic,
+// one replica killed mid-traffic, and a zero-downtime rolling rekey with
+// traffic flowing. It is written as BENCH_fleetscale.json by
+// radar-bench -exp fleetscale.
+type FleetScalingResult struct {
+	// Replicas / Models describe the fleet topology.
+	Replicas int `json:"replicas"`
+	Models   int `json:"models"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Clients is the number of concurrent request streams per phase.
+	Clients int `json:"clients"`
+	// FlipsPerRound is the adversary's batch size per attack round.
+	FlipsPerRound int `json:"flips_per_round"`
+	// AttackRounds counts bit-flip injections across the whole run.
+	AttackRounds int `json:"attack_rounds"`
+	// Phases holds steady, replica-kill and rolling-rekey in order.
+	Phases []FleetPhase `json:"phases"`
+	// Requests / RPS / SuccessRate aggregate across phases.
+	Requests    int     `json:"requests"`
+	RPS         float64 `json:"rps"`
+	SuccessRate float64 `json:"success_rate"`
+	// InRingAfterKill is the router's ring size once the killed replica
+	// was ejected (replicas-1 when failover worked).
+	InRingAfterKill int `json:"in_ring_after_kill"`
+	// RekeyedReplicas counts replicas the rolling rekey reached (every
+	// live one; the killed replica reports an error and is not counted).
+	RekeyedReplicas int `json:"rekeyed_replicas"`
+}
+
+// fleetReplica is one live radar-serve instance under the router: the
+// service, its HTTP listener, and the per-model adversary state.
+type fleetReplica struct {
+	svc   *serve.Service
+	ts    *httptest.Server
+	prots []*core.Protector
+	drams []*rowhammer.DRAM
+}
+
+// FleetScaling boots nReplicas=3 full serve.Service instances, each
+// hosting the same 2 protected tiny models, behind a fleet router, and
+// measures the three phases. The adversary keeps flipping MSBs in rotating
+// (replica, model) targets throughout — the fleet's job is routing and
+// availability; each replica's scrubber still owns recovery.
+func FleetScaling() FleetScalingResult {
+	const (
+		nReplicas     = 3
+		nModels       = 2
+		clients       = 4
+		perClient     = 30
+		flipsPerRound = 4
+		attackEvery   = 40
+	)
+	res := FleetScalingResult{
+		Replicas:      nReplicas,
+		Models:        nModels,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Clients:       clients,
+		FlipsPerRound: flipsPerRound,
+	}
+
+	names := make([]string, nModels)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
+
+	replicas := make([]*fleetReplica, nReplicas)
+	urls := make([]string, nReplicas)
+	var inputShape []int
+	for r := range replicas {
+		fr := &fleetReplica{}
+		opts := []serve.ServiceOption{}
+		for _, name := range names {
+			b, eng, prot, cfg := tinyServeModel(true, true)
+			if inputShape == nil {
+				x, _ := b.Test.Batch(0, 1)
+				inputShape = x.Shape[1:]
+			}
+			fr.prots = append(fr.prots, prot)
+			fr.drams = append(fr.drams, rowhammer.New(b.QModel, rowhammer.DefaultGeometry(), int64(23+r*nModels+len(fr.drams))))
+			opts = append(opts, serve.WithModel(name, eng, prot, serve.WithConfig(cfg)))
+		}
+		svc, err := serve.Open(opts...)
+		if err != nil {
+			panic(err)
+		}
+		fr.svc = svc
+		fr.ts = httptest.NewServer(svc.Handler())
+		replicas[r] = fr
+		urls[r] = fr.ts.URL
+	}
+
+	fl, err := fleet.New(fleet.Config{
+		Replicas:       urls,
+		HealthInterval: 20 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		DrainWait:      20 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fl.Start()
+	front := httptest.NewServer(fl.Handler())
+	defer func() {
+		front.Close()
+		fl.Stop()
+		for _, fr := range replicas {
+			fr.ts.Close()
+			fr.svc.Close()
+		}
+	}()
+
+	// Request bodies: 32 distinct inputs from the shared test set, each
+	// marshalled once with an explicit shape.
+	atk := model.Load(model.TinySpec())
+	profiles := attack.RandomMSB(atk.QModel, flipsPerRound*16, 47).Addresses()
+	b := model.Load(model.TinySpec())
+	x, _ := b.Test.Batch(0, 32)
+	vol := tensor.Volume(x.Shape[1:])
+	bodies := make([][]byte, 32)
+	for i := range bodies {
+		req := serve.InferRequest{Input: x.Data[i*vol : (i+1)*vol], Shape: inputShape}
+		bodies[i], _ = json.Marshal(req)
+	}
+
+	var (
+		mu      sync.Mutex
+		served  int64
+		attacks int
+	)
+	// inject mounts one flip batch into a rotating (replica, model) target.
+	inject := func() {
+		mu.Lock()
+		lo := (attacks * flipsPerRound) % len(profiles)
+		batch := profiles[lo : lo+flipsPerRound]
+		target := attacks % (nReplicas * nModels)
+		attacks++
+		mu.Unlock()
+		fr := replicas[target/nModels]
+		mi := target % nModels
+		fr.svc.Inject(names[mi], func(m *quant.Model) {
+			fr.drams[mi].MountProfile(batch)
+			fr.drams[mi].Refresh()
+		})
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	// runPhase drives clients×perClient routed inferences through the
+	// fleet front-end, spreading across models, attacking every
+	// attackEvery answers, and calling onRequest(seq) before each send.
+	runPhase := func(name string, onRequest func(seq int)) FleetPhase {
+		var (
+			wg       sync.WaitGroup
+			failures int64
+		)
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					seq := c*perClient + i
+					if onRequest != nil {
+						onRequest(seq)
+					}
+					url := front.URL + "/v1/models/" + names[seq%nModels] + "/infer"
+					resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[seq%len(bodies)]))
+					ok := err == nil && resp.StatusCode == http.StatusOK
+					if resp != nil {
+						resp.Body.Close()
+					}
+					mu.Lock()
+					if !ok {
+						failures++
+					}
+					served++
+					doAttack := served%attackEvery == 0
+					mu.Unlock()
+					if doAttack {
+						inject()
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		dt := time.Since(t0)
+		n := clients * perClient
+		return FleetPhase{
+			Name:        name,
+			Requests:    n,
+			Failures:    int(failures),
+			Seconds:     dt.Seconds(),
+			RPS:         float64(n) / dt.Seconds(),
+			SuccessRate: float64(n-int(failures)) / float64(n),
+		}
+	}
+
+	// Phase 1: steady routed traffic across the full fleet.
+	res.Phases = append(res.Phases, runPhase("steady", nil))
+
+	// Phase 2: one replica dies mid-traffic — after a quarter of the
+	// phase's requests are in flight, its listener drops every connection.
+	var killOnce sync.Once
+	victim := replicas[nReplicas-1]
+	res.Phases = append(res.Phases, runPhase("replica-kill", func(seq int) {
+		if seq >= clients*perClient/4 {
+			killOnce.Do(func() {
+				victim.ts.CloseClientConnections()
+				victim.ts.Close()
+			})
+		}
+	}))
+	res.InRingAfterKill = len(fl.Ring().Members())
+
+	// Phase 3: rolling rekey with traffic flowing. The rekey runs in the
+	// background while the same routed load continues; it must finish with
+	// zero failed requests.
+	rekeyDone := make(chan *fleet.AdminResponse, 1)
+	go func() {
+		resp, err := client.Post(front.URL+"/v1/admin/rekey", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			rekeyDone <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var ar fleet.AdminResponse
+		if json.NewDecoder(resp.Body).Decode(&ar) != nil {
+			rekeyDone <- nil
+			return
+		}
+		rekeyDone <- &ar
+	}()
+	res.Phases = append(res.Phases, runPhase("rolling-rekey", nil))
+	if ar := <-rekeyDone; ar != nil {
+		for _, rep := range ar.Replicas {
+			if rep.Err == "" && rep.Status == http.StatusOK {
+				res.RekeyedReplicas++
+			}
+		}
+	}
+
+	res.AttackRounds = attacks
+	var sec float64
+	for _, p := range res.Phases {
+		res.Requests += p.Requests
+		sec += p.Seconds
+	}
+	failed := 0
+	for _, p := range res.Phases {
+		failed += p.Failures
+	}
+	res.RPS = float64(res.Requests) / sec
+	res.SuccessRate = float64(res.Requests-failed) / float64(res.Requests)
+	return res
+}
+
+// Render prints the phases in the repo's table layout.
+func (r FleetScalingResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fleet routing under attack — %d replicas × %d models, %d clients, %d MSB flips per attack round (GOMAXPROCS=%d)\n",
+		r.Replicas, r.Models, r.Clients, r.FlipsPerRound, r.GOMAXPROCS)
+	sb.WriteString(row("phase", "requests", "failures", "req/s", "success") + "\n")
+	for _, p := range r.Phases {
+		sb.WriteString(row(
+			p.Name,
+			fmt.Sprintf("%d", p.Requests),
+			fmt.Sprintf("%d", p.Failures),
+			fmt.Sprintf("%.0f", p.RPS),
+			fmt.Sprintf("%.1f%%", p.SuccessRate*100),
+		) + "\n")
+	}
+	fmt.Fprintf(&sb, "replica killed mid-traffic: ring %d/%d; rolling rekey reached %d replica(s); %d attack rounds; overall %.1f%% of %d requests\n",
+		r.InRingAfterKill, r.Replicas, r.RekeyedReplicas, r.AttackRounds, r.SuccessRate*100, r.Requests)
+	return sb.String()
+}
+
+// WriteJSON writes the result as indented JSON — the machine-readable
+// BENCH artifact consumed by the benchmark trajectory.
+func (r FleetScalingResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

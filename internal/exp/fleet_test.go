@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetScalingAvailability runs the full fleet experiment — live
+// replicas, routed traffic under bit-flip attack, one replica killed
+// mid-traffic, rolling rekey under load — and holds it to the
+// availability contract: ≥99% of requests succeed despite the kill, and
+// the rolling rekey completes with zero failed requests.
+func TestFleetScalingAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment boots three full services")
+	}
+	r := FleetScaling()
+
+	if len(r.Phases) != 3 {
+		t.Fatalf("expected 3 phases, got %d", len(r.Phases))
+	}
+	byName := map[string]FleetPhase{}
+	for _, p := range r.Phases {
+		byName[p.Name] = p
+	}
+	if p := byName["steady"]; p.Failures != 0 {
+		t.Errorf("steady phase had %d failures", p.Failures)
+	}
+	if p := byName["replica-kill"]; p.SuccessRate < 0.99 {
+		t.Errorf("replica-kill success rate %.3f < 0.99 (%d/%d failed)",
+			p.SuccessRate, p.Failures, p.Requests)
+	}
+	if p := byName["rolling-rekey"]; p.Failures != 0 {
+		t.Errorf("rolling rekey dropped %d requests, want 0", p.Failures)
+	}
+	if r.InRingAfterKill != r.Replicas-1 {
+		t.Errorf("ring has %d members after kill, want %d", r.InRingAfterKill, r.Replicas-1)
+	}
+	// The rekey reaches every surviving replica (the killed one reports an
+	// error and is excluded).
+	if r.RekeyedReplicas != r.Replicas-1 {
+		t.Errorf("rolling rekey reached %d replicas, want %d", r.RekeyedReplicas, r.Replicas-1)
+	}
+	if r.AttackRounds == 0 {
+		t.Error("adversary never fired")
+	}
+	if out := r.Render(); !strings.Contains(out, "replica-kill") {
+		t.Errorf("render missing phases:\n%s", out)
+	}
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// GateMetric is one higher-is-better number compared across a baseline and
+// a fresh BENCH artifact.
+type GateMetric struct {
+	// Artifact names the BENCH file, Metric the number within it.
+	Artifact string  `json:"artifact"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Fresh    float64 `json:"fresh"`
+	// DeltaPct is (Fresh-Baseline)/Baseline × 100; negative is a slowdown.
+	DeltaPct float64 `json:"delta_pct"`
+	// Regressed marks a drop beyond the gate's tolerance.
+	Regressed bool `json:"regressed"`
+}
+
+// GateResult is the perf-regression gate's verdict over every BENCH
+// artifact present in both directories.
+type GateResult struct {
+	// MaxDropPct is the tolerated drop (e.g. 10 = fail below 90% of
+	// baseline).
+	MaxDropPct float64      `json:"max_drop_pct"`
+	Metrics    []GateMetric `json:"metrics"`
+	// Regressed is true when any metric dropped beyond tolerance.
+	Regressed bool `json:"regressed"`
+	// Skipped lists artifacts present in only one directory (a brand-new
+	// artifact has no baseline yet; its first committed run becomes one).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// gateExtractors maps each BENCH artifact to the metrics the gate guards.
+// Every metric is higher-is-better; the trajectory the gate protects is
+// the scan kernel's MB/s, the serving RPS under attack, and the fleet's
+// routed RPS and availability.
+var gateExtractors = map[string]func(raw []byte) ([]GateMetric, error){
+	"BENCH_scanscale.json": func(raw []byte) ([]GateMetric, error) {
+		var r ScanScalingResult
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, err
+		}
+		best := 0.0
+		for _, run := range r.Runs {
+			if run.MBs > best {
+				best = run.MBs
+			}
+		}
+		return []GateMetric{
+			{Metric: "kernels.new_mbps", Fresh: r.Kernels.NewMBs},
+			{Metric: "best_sweep_mbps", Fresh: best},
+		}, nil
+	},
+	"BENCH_servescale.json": func(raw []byte) ([]GateMetric, error) {
+		var r ServeScalingResult
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, err
+		}
+		out := make([]GateMetric, 0, len(r.Runs)+1)
+		for _, run := range r.Runs {
+			out = append(out, GateMetric{Metric: "runs." + run.Name + ".rps", Fresh: run.RPS})
+		}
+		out = append(out, GateMetric{Metric: "multi.rps", Fresh: r.Multi.RPS})
+		return out, nil
+	},
+	// Fleetscale gates only the availability contract: its RPS is
+	// dominated by loopback HTTP round-trips and swings ±20% run to run
+	// on small hosts, which would flake the gate. Raw serving throughput
+	// is already held by the servescale metrics.
+	"BENCH_fleetscale.json": func(raw []byte) ([]GateMetric, error) {
+		var r FleetScalingResult
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, err
+		}
+		return []GateMetric{
+			{Metric: "success_rate", Fresh: r.SuccessRate},
+		}, nil
+	},
+}
+
+// extractMetrics reads one artifact and pulls its gated numbers.
+func extractMetrics(dir, artifact string) ([]GateMetric, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, artifact))
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := gateExtractors[artifact](raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", artifact, err)
+	}
+	for i := range metrics {
+		metrics[i].Artifact = artifact
+	}
+	return metrics, nil
+}
+
+// GateArtifacts compares the BENCH artifacts in freshDir against the
+// committed baselines in baselineDir and fails any higher-is-better metric
+// that dropped more than maxDropPct percent. Artifacts missing from either
+// side are skipped (and reported), not failed: a brand-new artifact has no
+// baseline to hold it to, and a baseline whose experiment was retired has
+// nothing fresh to compare.
+func GateArtifacts(baselineDir, freshDir string, maxDropPct float64) (GateResult, error) {
+	res := GateResult{MaxDropPct: maxDropPct}
+	// Iterate in a fixed order so reports are stable.
+	artifacts := []string{"BENCH_scanscale.json", "BENCH_servescale.json", "BENCH_fleetscale.json"}
+	for _, artifact := range artifacts {
+		base, berr := extractMetrics(baselineDir, artifact)
+		fresh, ferr := extractMetrics(freshDir, artifact)
+		if os.IsNotExist(berr) || os.IsNotExist(ferr) {
+			res.Skipped = append(res.Skipped, artifact)
+			continue
+		}
+		if berr != nil {
+			return res, berr
+		}
+		if ferr != nil {
+			return res, ferr
+		}
+		byName := make(map[string]float64, len(fresh))
+		for _, m := range fresh {
+			byName[m.Metric] = m.Fresh
+		}
+		for _, m := range base {
+			f, ok := byName[m.Metric]
+			if !ok {
+				return res, fmt.Errorf("%s: fresh run is missing metric %s", artifact, m.Metric)
+			}
+			gm := GateMetric{Artifact: artifact, Metric: m.Metric, Baseline: m.Fresh, Fresh: f}
+			if gm.Baseline > 0 {
+				gm.DeltaPct = (gm.Fresh - gm.Baseline) / gm.Baseline * 100
+				gm.Regressed = gm.DeltaPct < -maxDropPct
+			}
+			if gm.Regressed {
+				res.Regressed = true
+			}
+			res.Metrics = append(res.Metrics, gm)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the gate verdict as a GitHub-flavored markdown table, the
+// shape CI appends to the job step summary.
+func (r GateResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### Perf gate (max drop %.0f%%)\n\n", r.MaxDropPct)
+	sb.WriteString("| artifact | metric | baseline | fresh | delta | verdict |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, m := range r.Metrics {
+		verdict := "ok"
+		if m.Regressed {
+			verdict = "**REGRESSED**"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %.2f | %.2f | %+.1f%% | %s |\n",
+			m.Artifact, m.Metric, m.Baseline, m.Fresh, m.DeltaPct, verdict)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&sb, "\nskipped %s (missing on one side)\n", s)
+	}
+	if r.Regressed {
+		sb.WriteString("\n**Perf gate FAILED** — a tracked metric dropped beyond tolerance.\n")
+	} else {
+		sb.WriteString("\nPerf gate passed.\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeGateFixture drops a BENCH artifact set into dir with the given
+// serving RPS and scan kernel MB/s (all other gated metrics held fixed).
+func writeGateFixture(t *testing.T, dir string, rps, mbps float64) {
+	t.Helper()
+	scan := ScanScalingResult{
+		Weights: 100,
+		Runs:    []ScanRun{{Workers: 1, MBs: mbps}, {Workers: 2, MBs: mbps * 1.5}},
+		Kernels: ScanKernels{OldMBs: mbps / 4, NewMBs: mbps, KernelGain: 4},
+	}
+	servescale := ServeScalingResult{
+		Runs: []ServeRun{
+			{Name: "baseline", RPS: rps * 1.2},
+			{Name: "scrub+verify", RPS: rps},
+		},
+		Multi: ServeMultiModel{Models: 2, RPS: rps * 0.9},
+	}
+	fleetscale := FleetScalingResult{Replicas: 3, RPS: rps * 2, SuccessRate: 0.999}
+	if err := scan.WriteJSON(filepath.Join(dir, "BENCH_scanscale.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := servescale.WriteJSON(filepath.Join(dir, "BENCH_servescale.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleetscale.WriteJSON(filepath.Join(dir, "BENCH_fleetscale.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatePassesWithinTolerance: a fresh run a few percent slower (well
+// inside the 10% envelope) passes, and faster runs obviously pass.
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeGateFixture(t, base, 1000, 2400)
+	writeGateFixture(t, fresh, 950, 2300) // -5%, -4.2%
+
+	res, err := GateArtifacts(base, fresh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed {
+		t.Fatalf("gate failed a -5%% run at 10%% tolerance: %s", res.Render())
+	}
+	if len(res.Metrics) == 0 || len(res.Skipped) != 0 {
+		t.Fatalf("gate compared %d metrics, skipped %v", len(res.Metrics), res.Skipped)
+	}
+}
+
+// TestGateFailsOnInjectedRegression is the acceptance check: a synthetic
+// 20% drop must trip the 10% gate, and the report must name the regressed
+// metrics.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeGateFixture(t, base, 1000, 2400)
+	writeGateFixture(t, fresh, 800, 2400) // RPS −20%, scan unchanged
+
+	res, err := GateArtifacts(base, fresh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed {
+		t.Fatalf("gate passed a -20%% regression: %s", res.Render())
+	}
+	var regressed []string
+	for _, m := range res.Metrics {
+		if m.Regressed {
+			regressed = append(regressed, m.Metric)
+		}
+	}
+	for _, want := range []string{"runs.baseline.rps", "runs.scrub+verify.rps", "multi.rps"} {
+		found := false
+		for _, got := range regressed {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("metric %s (−20%%) not flagged; flagged: %v", want, regressed)
+		}
+	}
+	for _, m := range res.Metrics {
+		if strings.Contains(m.Metric, "mbps") && m.Regressed {
+			t.Fatalf("unchanged scan metric %s flagged as regressed", m.Metric)
+		}
+	}
+	if !strings.Contains(res.Render(), "REGRESSED") {
+		t.Fatal("report does not mark the regression")
+	}
+}
+
+// TestGateSkipsMissingArtifacts: an artifact absent from the baseline
+// (brand new) or the fresh run (retired) is skipped, not failed.
+func TestGateSkipsMissingArtifacts(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeGateFixture(t, base, 1000, 2400)
+	writeGateFixture(t, fresh, 1000, 2400)
+	if err := os.Remove(filepath.Join(base, "BENCH_fleetscale.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := GateArtifacts(base, fresh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed {
+		t.Fatalf("gate failed on a skipped artifact: %s", res.Render())
+	}
+	if len(res.Skipped) != 1 || res.Skipped[0] != "BENCH_fleetscale.json" {
+		t.Fatalf("skipped = %v, want [BENCH_fleetscale.json]", res.Skipped)
+	}
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ReplicaReport is one replica's slice of a fleet admin operation.
+type ReplicaReport struct {
+	Replica string `json:"replica"`
+	Status  int    `json:"status,omitempty"`
+	// Body is the replica's raw JSON answer (the serve admin/model
+	// response), embedded verbatim.
+	Body json.RawMessage `json:"body,omitempty"`
+	Err  string          `json:"error,omitempty"`
+}
+
+// AdminResponse answers the fleet admin routes with per-replica results.
+type AdminResponse struct {
+	Op       string          `json:"op"`
+	Replicas []ReplicaReport `json:"replicas"`
+}
+
+// broadcast replays a buffered admin request against every configured
+// replica in order (not just the in-ring ones: hosted model sets must
+// stay identical across the fleet, so a drained replica still receives
+// membership changes). Failures are reported per replica, never fatal to
+// the whole operation.
+func (f *Fleet) broadcast(r *http.Request, path string, body []byte) []ReplicaReport {
+	out := make([]ReplicaReport, 0, len(f.order))
+	for _, base := range f.order {
+		rep := ReplicaReport{Replica: base}
+		resp, err := f.send(r, base, path, body)
+		if err != nil {
+			rep.Err = err.Error()
+			out = append(out, rep)
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		rep.Status = resp.StatusCode
+		if err != nil {
+			rep.Err = err.Error()
+		} else if json.Valid(raw) {
+			rep.Body = json.RawMessage(raw)
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// handleBroadcastAdmin fans POST /v1/admin/scrub out to every replica —
+// a fleet-wide scrub sweep with one merged report.
+func (f *Fleet) handleBroadcastAdmin(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdminResponse{
+		Op:       "scrub",
+		Replicas: f.broadcast(r, r.URL.Path, body),
+	})
+}
+
+// handleBroadcastModel fans a hot model add/remove out to every replica,
+// keeping the fleet's hosted sets identical — a model the ring can route
+// anywhere must exist everywhere.
+func (f *Fleet) handleBroadcastModel(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	op := "add-model"
+	if r.Method == http.MethodDelete {
+		op = "remove-model"
+	}
+	writeJSON(w, http.StatusOK, AdminResponse{
+		Op:       op,
+		Replicas: f.broadcast(r, r.URL.Path, body),
+	})
+}
+
+// handleRollingRekey is the fleet's zero-downtime POST /v1/admin/rekey:
+// replicas rekey one at a time, each drained off the ring first so its
+// models remap to the surviving owners, then readmitted once its new
+// golden signatures are in place. Traffic keeps flowing throughout —
+// the exclusive window of each per-replica rekey is only ever behind a
+// replica the ring is not routing to.
+func (f *Fleet) handleRollingRekey(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.rekeyMu.Lock()
+	defer f.rekeyMu.Unlock()
+	out := make([]ReplicaReport, 0, len(f.order))
+	for _, base := range f.order {
+		rep := ReplicaReport{Replica: base}
+		f.drain(base)
+		// Let requests already routed at the replica finish before its
+		// rekey takes the write-exclusive window.
+		select {
+		case <-time.After(f.cfg.DrainWait):
+		case <-r.Context().Done():
+			f.undrain(base)
+			http.Error(w, r.Context().Err().Error(), http.StatusServiceUnavailable)
+			return
+		}
+		resp, err := f.send(r, base, "/v1/admin/rekey", body)
+		if err != nil {
+			rep.Err = err.Error()
+		} else {
+			raw, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			rep.Status = resp.StatusCode
+			if rerr != nil {
+				rep.Err = rerr.Error()
+			} else if json.Valid(raw) {
+				rep.Body = json.RawMessage(raw)
+			}
+		}
+		f.undrain(base)
+		out = append(out, rep)
+	}
+	writeJSON(w, http.StatusOK, AdminResponse{Op: "rolling-rekey", Replicas: out})
+}

@@ -1,0 +1,197 @@
+// Package fleet is the horizontal scaling layer over internal/serve: an
+// HTTP front-end that consistent-hashes model names onto a set of
+// radar-serve replica base URLs and proxies the full /v1 surface.
+//
+// Topology: every replica hosts the same model set (radar-serve -model
+// flags or the fleet's broadcast hot-add), and the ring decides which
+// replica answers for which model. Sync inference and async job submits
+// route by model name; job polls and cancels route by the sticky
+// job→replica map recorded at submit time (job IDs carry a per-replica
+// instance tag, so they never collide). GET /v1/models merges the
+// listing across healthy replicas and annotates each model with its
+// current owner.
+//
+// Health: a background prober hits each replica's GET /v1/models on an
+// interval; FailThreshold consecutive failures eject the replica from
+// the ring (its models remap to the next owners), a later success
+// readmits it. A transport error during proxying ejects immediately —
+// the prober readmits once the replica answers again.
+//
+// Admin: POST /v1/admin/rekey is a zero-downtime rolling rekey — each
+// replica in turn is drained off the ring, waits DrainWait for in-flight
+// requests, rekeys, and is readmitted — and /v1/admin/models/{name}
+// broadcasts hot add/remove to every replica so membership changes keep
+// the hosted sets identical. GET /v1/fleet reports the router's view.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Fleet.
+type Config struct {
+	// Replicas are the radar-serve base URLs (e.g. http://10.0.0.1:8080).
+	// At least one is required.
+	Replicas []string
+	// VNodes is the ring's virtual-node count per replica (default 64).
+	VNodes int
+	// HealthInterval is the probe period (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe request (default 2s).
+	HealthTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures eject a
+	// replica (default 2). Proxy-side transport errors eject immediately.
+	FailThreshold int
+	// DrainWait is how long a rolling rekey waits after taking a replica
+	// off the ring before rekeying it, letting in-flight requests finish
+	// (default 500ms).
+	DrainWait time.Duration
+	// Client is the proxying HTTP client (default: http.DefaultTransport
+	// with no overall timeout — inference requests own their deadlines).
+	Client *http.Client
+}
+
+func (c *Config) fillDefaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.DrainWait <= 0 {
+		c.DrainWait = 500 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+}
+
+// replica is the router's view of one backend.
+type replica struct {
+	url string
+
+	mu       sync.Mutex
+	healthy  bool
+	draining bool // admin-held off the ring; prober must not readmit
+	fails    int
+	lastErr  string
+	lastSeen time.Time
+}
+
+// ReplicaStatus is one backend's entry in GET /v1/fleet.
+type ReplicaStatus struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	InRing   bool   `json:"in_ring"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// Fleet routes /v1 traffic across radar-serve replicas. Build with New,
+// then Start the health prober; Stop shuts the prober down (backends are
+// not touched — they are independent processes).
+type Fleet struct {
+	cfg      Config
+	ring     *Ring
+	client   *http.Client
+	replicas map[string]*replica // keyed by base URL
+	order    []string            // configured order, for stable reporting
+
+	// jobs is the sticky job→replica map: job IDs are minted by one
+	// backend and only it can answer for them.
+	jobs sync.Map // string(JobID) → base URL
+
+	// rekeyMu serializes rolling rekeys; overlapping drains could empty
+	// the ring.
+	rekeyMu sync.Mutex
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	stopped atomic.Bool
+}
+
+// New validates the config and builds the router. Every replica starts
+// healthy and on the ring; the prober corrects that view within one
+// interval of Start.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("fleet: at least one replica base URL is required")
+	}
+	cfg.fillDefaults()
+	f := &Fleet{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VNodes),
+		client:   cfg.Client,
+		replicas: make(map[string]*replica, len(cfg.Replicas)),
+		stop:     make(chan struct{}),
+	}
+	for _, raw := range cfg.Replicas {
+		base := strings.TrimRight(raw, "/")
+		u, err := url.Parse(base)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fleet: replica %q is not an absolute URL", raw)
+		}
+		if _, dup := f.replicas[base]; dup {
+			return nil, fmt.Errorf("fleet: duplicate replica %q", base)
+		}
+		f.replicas[base] = &replica{url: base, healthy: true}
+		f.order = append(f.order, base)
+		f.ring.Add(base)
+	}
+	return f, nil
+}
+
+// Start launches the health prober. Idempotent.
+func (f *Fleet) Start() {
+	if !f.started.CompareAndSwap(false, true) {
+		return
+	}
+	f.wg.Add(1)
+	go f.probeLoop()
+}
+
+// Stop shuts the prober down. Idempotent.
+func (f *Fleet) Stop() {
+	if !f.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(f.stop)
+	f.wg.Wait()
+}
+
+// Ring exposes the live hash ring (read-mostly: Lookup/Owners/Members).
+// Callers observing routing — experiments, tests — share the router's
+// view; mutating it directly would fight the health prober.
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// statuses snapshots every replica in configured order.
+func (f *Fleet) statuses() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(f.order))
+	for _, base := range f.order {
+		r := f.replicas[base]
+		r.mu.Lock()
+		out = append(out, ReplicaStatus{
+			URL:      r.url,
+			Healthy:  r.healthy,
+			Draining: r.draining,
+			InRing:   f.ring.Has(r.url),
+			LastErr:  r.lastErr,
+		})
+		r.mu.Unlock()
+	}
+	return out
+}

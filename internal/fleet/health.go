@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// probeLoop drives the health view: each interval, every replica is
+// probed off GET /v1/models (the cheapest request that exercises the
+// whole serving stack — registry, metrics, job table). Failures
+// accumulate toward ejection; one success readmits.
+func (f *Fleet) probeLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			for _, base := range f.order {
+				f.probe(f.replicas[base])
+			}
+		}
+	}
+}
+
+// probe runs one health check and applies its verdict.
+func (f *Fleet) probe(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/v1/models", nil)
+	if err != nil {
+		f.noteProbe(r, err)
+		return
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.noteProbe(r, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		f.noteProbe(r, fmt.Errorf("status %d", resp.StatusCode))
+		return
+	}
+	f.noteProbe(r, nil)
+}
+
+// noteProbe folds one probe result into the replica's state, ejecting
+// from or readmitting to the ring as the verdict flips. A draining
+// replica (admin-held off the ring) keeps its health bookkeeping but is
+// never readmitted here.
+func (f *Fleet) noteProbe(r *replica, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.fails++
+		r.lastErr = err.Error()
+		if r.healthy && r.fails >= f.cfg.FailThreshold {
+			r.healthy = false
+			f.ring.Remove(r.url)
+		}
+		return
+	}
+	r.fails = 0
+	r.lastErr = ""
+	r.lastSeen = time.Now()
+	if !r.healthy {
+		r.healthy = true
+	}
+	if !r.draining {
+		f.ring.Add(r.url)
+	}
+}
+
+// noteTransportFailure is the proxy's fast path to ejection: a connection
+// that refuses or resets mid-request means the replica is gone right now,
+// so it leaves the ring immediately instead of waiting out the probe
+// threshold. The prober readmits it once it answers again.
+func (f *Fleet) noteTransportFailure(base string, err error) {
+	r, ok := f.replicas[base]
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = f.cfg.FailThreshold
+	r.lastErr = err.Error()
+	r.healthy = false
+	f.ring.Remove(r.url)
+}
+
+// drain takes a replica off the ring on the admin's behalf (rolling
+// rekey); the prober will not readmit it until undrain.
+func (f *Fleet) drain(base string) {
+	r := f.replicas[base]
+	r.mu.Lock()
+	r.draining = true
+	f.ring.Remove(base)
+	r.mu.Unlock()
+}
+
+// undrain releases an admin hold; the replica rejoins the ring at once
+// when healthy (otherwise the prober readmits it on its next success).
+func (f *Fleet) undrain(base string) {
+	r := f.replicas[base]
+	r.mu.Lock()
+	r.draining = false
+	if r.healthy {
+		f.ring.Add(base)
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,283 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"radar/internal/serve"
+)
+
+// Handler returns the fleet's HTTP front-end. The data-plane routes
+// mirror a single replica's /v1 surface exactly — clients cannot tell a
+// fleet from one radar-serve — plus GET /v1/fleet for the router's view:
+//
+//	POST   /v1/models/{model}/infer  — routed by ring owner, retried on failover
+//	POST   /v1/models/{model}/jobs   — routed by owner; job pinned to it
+//	GET    /v1/jobs/{id}             — sticky: answered by the minting replica
+//	DELETE /v1/jobs/{id}             — sticky cancel
+//	GET    /v1/models                — merged listing with per-model owners
+//	GET    /v1/models/{model}        — routed by owner
+//	POST   /v1/admin/scrub           — broadcast to every in-ring replica
+//	POST   /v1/admin/rekey           — zero-downtime rolling rekey
+//	POST   /v1/admin/models/{name}   — broadcast hot-add
+//	DELETE /v1/admin/models/{name}   — broadcast hot-remove
+//	GET    /v1/fleet                 — replica health, ring membership
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/models/{model}/infer", f.handleInfer)
+	mux.HandleFunc("POST /v1/models/{model}/jobs", f.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", f.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", f.handleJob)
+	mux.HandleFunc("GET /v1/models", f.handleModels)
+	mux.HandleFunc("GET /v1/models/{model}", f.handleModel)
+	mux.HandleFunc("POST /v1/admin/scrub", f.handleBroadcastAdmin)
+	mux.HandleFunc("POST /v1/admin/rekey", f.handleRollingRekey)
+	mux.HandleFunc("POST /v1/admin/models/{name}", f.handleBroadcastModel)
+	mux.HandleFunc("DELETE /v1/admin/models/{name}", f.handleBroadcastModel)
+	mux.HandleFunc("GET /v1/fleet", f.handleFleet)
+	return mux
+}
+
+// readBody buffers the request body so it can be replayed on failover.
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+// send replays one buffered request against a replica. A transport error
+// ejects the replica immediately and is returned for the caller's
+// failover decision; any HTTP response — success or error status — is a
+// backend verdict and is returned as-is.
+func (f *Fleet) send(r *http.Request, base, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.noteTransportFailure(base, err)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// relay copies a backend response to the client verbatim.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// handleInfer routes a sync inference by its model's ring owner. Sync
+// inference is idempotent (pure read of the weight image), so a replica
+// that fails at the transport level is ejected and the request replays
+// against the next distinct owner; only when every candidate is down
+// does the client see 502.
+func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	owners := f.ring.Owners(model, len(f.replicas))
+	if len(owners) == 0 {
+		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	var lastErr error
+	for _, base := range owners {
+		resp, err := f.send(r, base, r.URL.Path, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	http.Error(w, fmt.Sprintf("fleet: all candidate replicas failed: %v", lastErr),
+		http.StatusBadGateway)
+}
+
+// handleSubmitJob routes an async submit by ring owner and pins the
+// accepted job to the replica that minted its ID. Submission is not
+// idempotent (an accepted job holds a table slot), so there is no
+// failover replay — a transport error answers 502 and the client
+// resubmits.
+func (f *Fleet) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	base := f.ring.Lookup(model)
+	if base == "" {
+		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	resp, err := f.send(r, base, r.URL.Path, body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("fleet: replica %s: %v", base, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		var ref serve.JobRef
+		if err := json.Unmarshal(respBody, &ref); err == nil && ref.ID != "" {
+			f.jobs.Store(string(ref.ID), base)
+		}
+	}
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+}
+
+// handleJob answers polls and cancels through the sticky job map: only
+// the replica that minted an ID can answer for it. A terminal DELETE (or
+// a 404 from the backend — the job expired) drops the pin.
+func (f *Fleet) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := f.jobs.Load(id)
+	if !ok {
+		http.Error(w, "fleet: unknown job "+id, http.StatusNotFound)
+		return
+	}
+	base := v.(string)
+	resp, err := f.send(r, base, r.URL.Path, nil)
+	if err != nil {
+		// The minting replica is gone and the job with it.
+		f.jobs.Delete(id)
+		http.Error(w, fmt.Sprintf("fleet: replica %s lost with job %s: %v", base, id, err),
+			http.StatusBadGateway)
+		return
+	}
+	if r.Method == http.MethodDelete || resp.StatusCode == http.StatusNotFound {
+		f.jobs.Delete(id)
+	}
+	relay(w, resp)
+}
+
+// ModelEntry is one model in the fleet's merged listing: the owning
+// replica's view plus the ownership itself.
+type ModelEntry struct {
+	serve.ModelInfo
+	Owner string `json:"owner"`
+}
+
+// ModelsResponse is the fleet's GET /v1/models body: one entry per model
+// (as served by its ring owner) and the job tables summed across
+// replicas.
+type ModelsResponse struct {
+	Models []ModelEntry        `json:"models"`
+	Jobs   serve.JobTableStats `json:"jobs"`
+}
+
+// handleModels merges the listing across in-ring replicas. Each model
+// appears once, described by its ring owner (the replica whose metrics
+// actually reflect the traffic the fleet routed); replicas that fail the
+// fan-out are skipped — the prober will eject them.
+func (f *Fleet) handleModels(w http.ResponseWriter, r *http.Request) {
+	var (
+		merged ModelsResponse
+		seen   = make(map[string]int) // model name → index in merged.Models
+	)
+	for _, base := range f.ring.Members() {
+		resp, err := f.send(r, base, "/v1/models", nil)
+		if err != nil {
+			continue
+		}
+		var one serve.ModelsResponse
+		err = json.NewDecoder(resp.Body).Decode(&one)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		merged.Jobs.Active += one.Jobs.Active
+		merged.Jobs.Submitted += one.Jobs.Submitted
+		merged.Jobs.Capacity += one.Jobs.Capacity
+		for _, mi := range one.Models {
+			owner := f.ring.Lookup(mi.Name)
+			entry := ModelEntry{ModelInfo: mi, Owner: owner}
+			if i, dup := seen[mi.Name]; dup {
+				if owner == base {
+					merged.Models[i] = entry
+				}
+				continue
+			}
+			seen[mi.Name] = len(merged.Models)
+			merged.Models = append(merged.Models, entry)
+		}
+	}
+	if len(merged.Models) == 0 && len(f.ring.Members()) == 0 {
+		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleModel routes one model's info request by ring owner, with the
+// same idempotent failover as sync inference.
+func (f *Fleet) handleModel(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	owners := f.ring.Owners(model, len(f.replicas))
+	if len(owners) == 0 {
+		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	var lastErr error
+	for _, base := range owners {
+		resp, err := f.send(r, base, r.URL.Path, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	http.Error(w, fmt.Sprintf("fleet: all candidate replicas failed: %v", lastErr),
+		http.StatusBadGateway)
+}
+
+// FleetStatus is the GET /v1/fleet body.
+type FleetStatus struct {
+	Replicas []ReplicaStatus `json:"replicas"`
+	// InRing is how many replicas currently take traffic.
+	InRing int `json:"in_ring"`
+	// TrackedJobs is the sticky job map's size.
+	TrackedJobs int `json:"tracked_jobs"`
+}
+
+func (f *Fleet) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := FleetStatus{Replicas: f.statuses(), InRing: len(f.ring.Members())}
+	f.jobs.Range(func(any, any) bool { st.TrackedJobs++; return true })
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

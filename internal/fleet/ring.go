@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring mapping string keys (model names) onto
+// members (replica base URLs). Each member is projected onto the ring at
+// vnodes pseudo-random points, so (a) keys spread evenly even with a
+// handful of members and (b) removing a member remaps only the keys it
+// owned — the property that lets the fleet drain one replica at a time
+// with zero disruption to traffic routed at the others.
+//
+// Placement is a pure function of the member set: every router instance
+// configured with the same replicas and vnode count computes the same
+// ownership, no coordination needed.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []point // sorted by hash
+	members map[string]struct{}
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds an empty ring with the given vnode count per member
+// (values < 1 are clamped to 1).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// hashKey is FNV-64a pushed through a splitmix64 finalizer — fast,
+// dependency-free, and stable across processes (placement must agree
+// between router instances). The finalizer matters: vnode labels share
+// long common prefixes ("http://host:port#i"), and raw FNV propagates a
+// one-character difference as a near-constant delta across every vnode
+// pair, which can park one member's entire vnode set immediately after
+// another's and starve it of keys. The avalanche step decorrelates them.
+func hashKey(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add projects a member onto the ring; adding a present member is a no-op.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hashKey(member + "#" + strconv.Itoa(i)), member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove takes a member off the ring; its keys remap to their next
+// clockwise owners. Removing an absent member is a no-op.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current member set (unordered).
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[member]
+	return ok
+}
+
+// Lookup returns the member owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct members in ownership order for key: the
+// owner first, then the successors a retry should fall through to. The
+// walk is clockwise from the key's hash, skipping vnodes of members
+// already collected.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}

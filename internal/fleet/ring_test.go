@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicPlacement: ownership is a pure function of the
+// member set — two independently built rings agree on every key, and
+// lookups are stable across calls.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, r2 := NewRing(64), NewRing(64)
+	for _, m := range members {
+		r1.Add(m)
+	}
+	// Insertion order must not matter.
+	for i := len(members) - 1; i >= 0; i-- {
+		r2.Add(members[i])
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		a, b := r1.Lookup(key), r2.Lookup(key)
+		if a == "" || a != b {
+			t.Fatalf("key %q: ring1 → %q, ring2 → %q", key, a, b)
+		}
+		if again := r1.Lookup(key); again != a {
+			t.Fatalf("key %q: unstable lookup %q then %q", key, a, again)
+		}
+	}
+}
+
+// TestRingSpread: with vnodes, a small fleet still gets every member a
+// reasonable share of keys (no member starves).
+func TestRingSpread(t *testing.T) {
+	r := NewRing(64)
+	counts := map[string]int{}
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("http://replica-%d", i))
+	}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("model-%d", i))]++
+	}
+	for m, n := range counts {
+		if n < keys/10 {
+			t.Fatalf("member %s owns only %d/%d keys — spread collapsed", m, n, keys)
+		}
+	}
+}
+
+// TestRingMinimalRemap is the consistent-hashing property test: removing
+// one member remaps only the keys it owned (every other key keeps its
+// owner), and re-adding it restores the original placement exactly.
+func TestRingMinimalRemap(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := NewRing(64)
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 1000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("model-%d", i)
+		before[k] = r.Lookup(k)
+	}
+
+	victim := members[1]
+	r.Remove(victim)
+	moved := 0
+	for k, owner := range before {
+		now := r.Lookup(k)
+		if owner == victim {
+			if now == victim {
+				t.Fatalf("key %q still maps to removed member", k)
+			}
+			moved++
+			continue
+		}
+		if now != owner {
+			t.Fatalf("key %q moved %q → %q though its owner never left", k, owner, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys — test is vacuous")
+	}
+
+	// Readmission restores the exact original placement.
+	r.Add(victim)
+	for k, owner := range before {
+		if now := r.Lookup(k); now != owner {
+			t.Fatalf("after readmission key %q maps to %q, originally %q", k, now, owner)
+		}
+	}
+}
+
+// TestRingOwners: the failover order lists distinct members, owner first.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("http://replica-%d", i))
+	}
+	owners := r.Owners("some-model", 5)
+	if len(owners) != 3 {
+		t.Fatalf("Owners returned %d members, want all 3", len(owners))
+	}
+	if owners[0] != r.Lookup("some-model") {
+		t.Fatalf("Owners[0] %q != Lookup %q", owners[0], r.Lookup("some-model"))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate member %q in owners %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if got := r.Owners("some-model", 1); len(got) != 1 || got[0] != owners[0] {
+		t.Fatalf("Owners(1) = %v, want [%s]", got, owners[0])
+	}
+}
+
+// TestRingEmpty: lookups on an empty ring fail soft.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup("x"); got != "" {
+		t.Fatalf("empty ring lookup → %q", got)
+	}
+	if got := r.Owners("x", 3); got != nil {
+		t.Fatalf("empty ring owners → %v", got)
+	}
+	r.Add("http://only")
+	r.Remove("http://only")
+	r.Remove("http://only") // absent remove is a no-op
+	if got := r.Lookup("x"); got != "" {
+		t.Fatalf("drained ring lookup → %q", got)
+	}
+}

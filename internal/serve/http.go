@@ -9,9 +9,9 @@ import (
 	"radar/internal/tensor"
 )
 
-// InferRequest is the JSON body of POST /infer: either a single input or a
-// list of inputs, each a flat float array of volume C·H·W. Shape defaults
-// to the server's configured input shape.
+// InferRequest is the JSON body of POST /v1/models/{model}/infer: either
+// a single input or a list of inputs, each a flat float array of volume
+// C·H·W. Shape defaults to the model's configured input shape.
 type InferRequest struct {
 	// Input is a single flattened (C,H,W) image.
 	Input []float32 `json:"input,omitempty"`
@@ -29,44 +29,9 @@ type InferResult struct {
 	Logits []float32 `json:"logits"`
 }
 
-// InferResponse is the JSON body answering POST /infer.
+// InferResponse is the JSON body answering the sync inference route.
 type InferResponse struct {
 	Results []InferResult `json:"results"`
-}
-
-// healthResponse is the JSON body of GET /healthz.
-type healthResponse struct {
-	Status        string `json:"status"`
-	Layers        int    `json:"layers"`
-	Groups        int    `json:"groups"`
-	InputShape    []int  `json:"input_shape,omitempty"`
-	VerifiedFetch bool   `json:"verified_fetch"`
-	ScrubMs       int64  `json:"scrub_interval_ms"`
-}
-
-// Handler returns the single-model pre-v1 HTTP front-end:
-//
-//	POST /infer   — run inference on one or more inputs
-//	GET  /healthz — liveness and model identity
-//	GET  /metrics — the full metrics Snapshot as JSON
-//
-// Deprecated: use Service.Handler, which serves the versioned
-// /v1/models/... surface (with these routes kept as shims for one
-// release) plus async jobs and the admin control plane.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/infer", s.handleInfer)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
-}
-
-func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	s.serveInfer(w, r)
 }
 
 // decodeInferRequest parses an InferRequest body into per-input tensors
@@ -103,11 +68,11 @@ func (s *Server) decodeInferRequest(r *http.Request) ([]*tensor.Tensor, error) {
 	return out, nil
 }
 
-// serveInfer is the shared sync-inference handler body used by both the
-// v1 route and the deprecated ones: submit everything first (so a
+// serveInfer is the sync-inference handler body behind
+// POST /v1/models/{model}/infer: submit everything first (so a
 // multi-input request fills batches), then collect in order, all under
-// the client's request context. Errors map through httpError, so the
-// status contract (400/429/503+Retry-After) is identical on every route.
+// the client's request context. Errors map through httpError
+// (400/429/503+Retry-After).
 func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request) {
 	inputs, err := s.decodeInferRequest(r)
 	if err != nil {
@@ -135,26 +100,6 @@ func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !s.Healthy() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		writeJSON(w, healthResponse{Status: "stopping"})
-		return
-	}
-	writeJSON(w, healthResponse{
-		Status:        "ok",
-		Layers:        len(s.model.Layers),
-		Groups:        s.prot.NumGroups(),
-		InputShape:    s.cfg.InputShape,
-		VerifiedFetch: s.cfg.VerifiedFetch,
-		ScrubMs:       s.cfg.ScrubInterval.Milliseconds(),
-	})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Snapshot())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

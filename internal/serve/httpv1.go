@@ -46,40 +46,45 @@ type adminResponse struct {
 
 // Handler returns the versioned HTTP front-end of the whole service:
 //
-//	POST /v1/models/{model}/infer  — sync inference (honors client disconnect)
-//	POST /v1/models/{model}/jobs   — submit an async job, 202 + job ID
-//	GET  /v1/jobs/{id}             — poll a job; result once state is "done"
-//	GET  /v1/models                — hosted models, health, live metrics
-//	GET  /v1/models/{model}        — one model's info/metrics
-//	POST /v1/admin/scrub           — force a scrub cycle ({"model","full"})
-//	POST /v1/admin/rekey           — rotate protection secrets live ({"model"})
+//	POST   /v1/models/{model}/infer  — sync inference (honors client disconnect)
+//	POST   /v1/models/{model}/jobs   — submit an async job, 202 + job ID
+//	GET    /v1/jobs/{id}             — poll a job; result once state is "done"
+//	DELETE /v1/jobs/{id}             — cancel a job, dropping queued work
+//	GET    /v1/models                — hosted models, health, live metrics
+//	GET    /v1/models/{model}        — one model's info/metrics
+//	POST   /v1/admin/scrub           — force a scrub cycle ({"model","full"})
+//	POST   /v1/admin/rekey           — rotate protection secrets live ({"model"})
+//	POST   /v1/admin/models/{name}   — hot-add a model ({"source"}; needs a provider)
+//	DELETE /v1/admin/models/{name}   — hot-remove a model (drains first)
 //
-// The pre-v1 routes — POST /infer, GET /healthz, GET /metrics — remain as
-// thin shims onto the default model for one release; they answer with a
-// Deprecation header pointing at the v1 surface.
+// The pre-v1 shims (POST /infer, GET /healthz, GET /metrics) were removed
+// after their one-release deprecation window; only the /v1 surface is
+// served.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/models/{model}/infer", s.handleInferV1)
 	mux.HandleFunc("POST /v1/models/{model}/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/models/{model}", s.handleModel)
 	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("POST /v1/admin/rekey", s.handleRekey)
-	mux.HandleFunc("POST /infer", s.handleLegacyInfer)
-	mux.HandleFunc("GET /healthz", s.handleLegacyHealthz)
-	mux.HandleFunc("GET /metrics", s.handleLegacyMetrics)
+	mux.HandleFunc("POST /v1/admin/models/{name}", s.handleAddModel)
+	mux.HandleFunc("DELETE /v1/admin/models/{name}", s.handleRemoveModel)
 	return mux
 }
 
 // httpError maps the service's typed errors onto wire status codes:
-// unknown model/job → 404, stopping → 503 + Retry-After, saturated queue
-// or job table → 429 + Retry-After, anything else (malformed tensors,
-// bad shapes) → 400.
+// unknown model/job → 404, duplicate/last model → 409, stopping → 503 +
+// Retry-After, saturated queue or job table → 429 + Retry-After, anything
+// else (malformed tensors, bad shapes) → 400.
 func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownModel), errors.Is(err, ErrUnknownJob):
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrModelExists), errors.Is(err, ErrLastModel):
+		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, ErrStopping):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -120,8 +125,8 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The job must outlive this HTTP exchange: detach it from the request
-	// context (cancellation is the DELETE of a future release; for now a
-	// submitted job runs to completion and expires via the TTL).
+	// context. Cancellation is explicit — DELETE /v1/jobs/{id} tears down
+	// the per-job context layer Submit installs on top of this one.
 	id, err := s.Submit(context.WithoutCancel(r.Context()),
 		Request{Model: hm.name, Input: inputs[0]})
 	if err != nil {
@@ -134,6 +139,15 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Poll(JobID(r.PathValue("id")))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(JobID(r.PathValue("id")))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -186,27 +200,45 @@ func (s *Service) handleRekey(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, adminResponse{Results: reports})
 }
 
-// deprecate stamps a pre-v1 response with the deprecation signal and the
-// successor route.
-func deprecate(w http.ResponseWriter, successor string) {
-	w.Header().Set("Deprecation", "true")
-	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+// addModelRequest is the body of POST /v1/admin/models/{name}: the opaque
+// source string the installed ModelProvider resolves (for radar-serve, a
+// zoo model name).
+type addModelRequest struct {
+	Source string `json:"source"`
 }
 
-func (s *Service) handleLegacyInfer(w http.ResponseWriter, r *http.Request) {
-	hm, _ := s.reg.lookup("") // default model always resolves
-	deprecate(w, "/v1/models/"+hm.name+"/infer")
-	hm.srv.serveInfer(w, r)
+func (s *Service) handleAddModel(w http.ResponseWriter, r *http.Request) {
+	if s.provider == nil {
+		http.Error(w, "serve: no model provider configured", http.StatusNotImplemented)
+		return
+	}
+	name := r.PathValue("name")
+	var req addModelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	eng, prot, opts, err := s.provider(name, req.Source)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := s.AddModel(name, eng, prot, opts...); err != nil {
+		httpError(w, err)
+		return
+	}
+	hm, err := s.reg.lookup(name)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusCreated, hm.info())
 }
 
-func (s *Service) handleLegacyHealthz(w http.ResponseWriter, r *http.Request) {
-	hm, _ := s.reg.lookup("")
-	deprecate(w, "/v1/models")
-	hm.srv.handleHealthz(w, r)
-}
-
-func (s *Service) handleLegacyMetrics(w http.ResponseWriter, r *http.Request) {
-	hm, _ := s.reg.lookup("")
-	deprecate(w, "/v1/models/"+hm.name)
-	writeJSON(w, hm.srv.Snapshot())
+func (s *Service) handleRemoveModel(w http.ResponseWriter, r *http.Request) {
+	if err := s.RemoveModel(r.PathValue("name")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }

@@ -9,6 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"radar/internal/core"
+	"radar/internal/model"
+	"radar/internal/qinfer"
 	"radar/internal/quant"
 	"radar/internal/tensor"
 )
@@ -165,8 +168,7 @@ func TestHTTPQueueAndTableSaturation(t *testing.T) {
 	release()
 }
 
-// TestHTTPStopping: after Close, submissions answer 503 with Retry-After
-// on both the v1 and the deprecated routes.
+// TestHTTPStopping: after Close, submissions answer 503 with Retry-After.
 func TestHTTPStopping(t *testing.T) {
 	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
 	ts := httptest.NewServer(svc.Handler())
@@ -175,7 +177,7 @@ func TestHTTPStopping(t *testing.T) {
 	body := tinyBody(t, sample(x, 0))
 	svc.Close()
 
-	for _, path := range []string{"/v1/models/m0/infer", "/v1/models/m0/jobs", "/infer"} {
+	for _, path := range []string{"/v1/models/m0/infer", "/v1/models/m0/jobs"} {
 		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
@@ -267,10 +269,10 @@ func TestHTTPModelsAndAdmin(t *testing.T) {
 	}
 }
 
-// TestHTTPLegacyShims: the pre-v1 routes still answer — routed to the
-// default model — and carry the Deprecation + successor-version headers.
-func TestHTTPLegacyShims(t *testing.T) {
-	svc, b, _ := openTiny(t, 2, []ModelOption{WithScrub(0, 0)})
+// TestHTTPLegacyShimsGone: the pre-v1 routes were removed after their
+// deprecation window — they must 404, not silently route anywhere.
+func TestHTTPLegacyShimsGone(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	x, _ := b[0].Test.Batch(0, 1)
@@ -280,37 +282,183 @@ func TestHTTPLegacyShims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy /infer status %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") == "" ||
-		!strings.Contains(resp.Header.Get("Link"), "/v1/models/m0/infer") {
-		t.Fatalf("legacy /infer lacks deprecation headers: %v", resp.Header)
-	}
-	var out InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
 	resp.Body.Close()
-	if len(out.Results) != 1 || len(out.Results[0].Logits) == 0 {
-		t.Fatalf("legacy infer response: %+v", out)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed POST /infer answered %d, want 404", resp.StatusCode)
 	}
-
 	for _, path := range []string{"/healthz", "/metrics"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") == "" {
-			t.Fatalf("legacy %s: status %d, headers %v", path, resp.StatusCode, resp.Header)
-		}
 		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("removed GET %s answered %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPJobCancel drives DELETE /v1/jobs/{id} over the wire: a pending
+// job answers with state "cancelled", its table slot is freed, and the ID
+// is unknown afterwards.
+func TestHTTPJobCancel(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	resp, err := http.Post(ts.URL+"/v1/models/m0/jobs", "application/json",
+		strings.NewReader(tinyBody(t, sample(x, 0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref JobRef
+	if err := json.NewDecoder(resp.Body).Decode(&ref); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+ref.Location, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d, want 200", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != JobCancelled || st.ID != ref.ID {
+		t.Fatalf("cancel answered %+v", st)
+	}
+	if n := svc.jobs.active(); n != 0 {
+		t.Fatalf("cancelled job still holds a table slot (%d active)", n)
 	}
 
-	// The legacy shim answers with the default model, so its count moved.
-	s0, _ := svc.Snapshot("m0")
-	s1, _ := svc.Snapshot("m1")
-	if s0.Requests != 1 || s1.Requests != 0 {
-		t.Fatalf("legacy routing: m0=%d m1=%d requests", s0.Requests, s1.Requests)
+	// The ID is gone: polling and re-cancelling both 404.
+	for _, method := range []string{http.MethodGet, http.MethodDelete} {
+		req, _ := http.NewRequest(method, ts.URL+ref.Location, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s on cancelled job → %d, want 404", method, resp.StatusCode)
+		}
+	}
+}
+
+// tinyProvider backs the admin hot-add route in tests: every source builds
+// a fresh tiny model.
+func tinyProvider(name, source string) (*qinfer.Engine, *core.Protector, []ModelOption, error) {
+	b := model.Load(model.TinySpec())
+	calib, _ := b.Attack.Batch(0, 64)
+	eng, err := qinfer.Compile(b.Net, b.QModel, calib)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prot := core.Protect(b.QModel, core.DefaultConfig(4))
+	return eng, prot, []ModelOption{
+		WithInputShape(b.Spec.Data.Channels, b.Spec.Data.Size, b.Spec.Data.Size),
+		WithScrub(0, 0),
+	}, nil
+}
+
+// TestHTTPAdminModels exercises hot add/remove over the wire: 501 without
+// a provider, 201 + served traffic after an add, 409 on duplicate names
+// and on removing the last model, 204 + 404 after a remove.
+func TestHTTPAdminModels(t *testing.T) {
+	bare, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	bareTS := httptest.NewServer(bare.Handler())
+	defer bareTS.Close()
+	x, _ := b[0].Test.Batch(0, 1)
+	body := tinyBody(t, sample(x, 0))
+
+	resp, err := http.Post(bareTS.URL+"/v1/admin/models/extra", "application/json",
+		strings.NewReader(`{"source":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("add without provider → %d, want 501", resp.StatusCode)
+	}
+
+	svc, _, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)},
+		WithModelProvider(tinyProvider))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err = http.Post(ts.URL+"/v1/admin/models/extra", "application/json",
+		strings.NewReader(`{"source":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("hot add → %d, want 201", resp.StatusCode)
+	}
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Name != "extra" || !info.Healthy {
+		t.Fatalf("hot add info: %+v", info)
+	}
+
+	// The added model serves immediately.
+	resp, err = http.Post(ts.URL+"/v1/models/extra/infer", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer on hot-added model → %d", resp.StatusCode)
+	}
+
+	// Duplicate name → 409.
+	resp, _ = http.Post(ts.URL+"/v1/admin/models/extra", "application/json",
+		strings.NewReader(`{"source":"tiny"}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add → %d, want 409", resp.StatusCode)
+	}
+
+	// Remove it; traffic now 404s and a re-remove 404s too.
+	del, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/admin/models/extra", nil)
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("hot remove → %d, want 204", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/v1/models/extra/infer", "application/json",
+		strings.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("infer on removed model → %d, want 404", resp.StatusCode)
+	}
+
+	// The last hosted model is protected → 409.
+	del, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/admin/models/m0", nil)
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("remove last model → %d, want 409", resp.StatusCode)
 	}
 }

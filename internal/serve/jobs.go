@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -33,8 +34,9 @@ const (
 	JobPending JobState = "pending"
 	// JobDone: the result is available via Poll or Wait.
 	JobDone JobState = "done"
-	// JobCancelled: the submission context was cancelled before completion;
-	// the job is reaped from the table right after entering this state.
+	// JobCancelled: the submission context was cancelled — or the job was
+	// cancelled via Cancel / DELETE /v1/jobs/{id} — before completion; the
+	// job is reaped from the table right after entering this state.
 	JobCancelled JobState = "cancelled"
 )
 
@@ -50,12 +52,15 @@ type JobStatus struct {
 }
 
 // job is one table entry. Mutable fields are guarded by the table mutex;
-// done is closed exactly once on completion or cancellation.
+// done is closed exactly once on completion or cancellation (via finish).
 type job struct {
 	id      JobID
 	model   string
 	created time.Time
 	done    chan struct{}
+	// cancel tears down the job's own context layer: dropping its queued
+	// work and waking its watcher. Set at creation, never mutated after.
+	cancel context.CancelFunc
 
 	state    JobState
 	res      Result
@@ -69,22 +74,32 @@ type job struct {
 // create and on any poll that touches them — no background sweeper
 // goroutine is needed.
 type jobTable struct {
-	mu   sync.Mutex
-	cap  int
-	ttl  time.Duration
-	seq  uint64
-	jobs map[JobID]*job
+	mu       sync.Mutex
+	cap      int
+	ttl      time.Duration
+	seq      uint64
+	instance string // random per-table tag making IDs unique across replicas
+	jobs     map[JobID]*job
 
 	submitted int64 // lifetime jobs accepted
+	cancelled int64 // lifetime jobs cancelled before completion
 }
 
 func newJobTable(capacity int, ttl time.Duration) *jobTable {
-	return &jobTable{cap: capacity, ttl: ttl, jobs: make(map[JobID]*job)}
+	// Job IDs carry a per-instance tag so IDs minted by different replicas
+	// of the same deployment never collide — a fleet router keys its
+	// sticky job→replica map on the raw ID.
+	return &jobTable{
+		cap:      capacity,
+		ttl:      ttl,
+		instance: fmt.Sprintf("%04x", rand.Uint32()&0xffff),
+		jobs:     make(map[JobID]*job),
+	}
 }
 
 // create reserves a slot for a new pending job, reaping expired finished
 // entries first; a table still at capacity returns ErrJobsFull.
-func (t *jobTable) create(model string) (*job, error) {
+func (t *jobTable) create(model string, cancel context.CancelFunc) (*job, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.jobs) >= t.cap {
@@ -95,10 +110,11 @@ func (t *jobTable) create(model string) (*job, error) {
 	}
 	t.seq++
 	j := &job{
-		id:      JobID(fmt.Sprintf("job-%08x", t.seq)),
+		id:      JobID(fmt.Sprintf("job-%s-%08x", t.instance, t.seq)),
 		model:   model,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		cancel:  cancel,
 		state:   JobPending,
 	}
 	t.jobs[j.id] = j
@@ -127,27 +143,64 @@ func (t *jobTable) abort(id JobID) {
 	t.mu.Unlock()
 }
 
+// finish moves a pending job into a terminal state, closing done exactly
+// once. It returns false when the job already finished — the loser of a
+// completion/cancellation race must not touch the entry again. Cancelled
+// jobs are reaped immediately; done jobs stay for the retention TTL.
+func (t *jobTable) finish(j *job, state JobState, res *Result) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j.state != JobPending {
+		return false
+	}
+	j.state = state
+	j.finished = time.Now()
+	if res != nil {
+		j.res = *res
+	}
+	if state == JobCancelled {
+		delete(t.jobs, j.id)
+		t.cancelled++
+	}
+	close(j.done)
+	return true
+}
+
 // watch runs on its own goroutine per in-flight job: it completes the job
-// when the batch workers answer, or cancels and reaps it when the
-// submission context is done first. Because results arrive on a buffered
-// channel, a late answer to a cancelled job is simply dropped.
+// when the batch workers answer, or cancels and reaps it when the job
+// context is done first (submission context cancelled, or an explicit
+// Cancel tearing down the job's own context layer). Because results
+// arrive on a buffered channel, a late answer to a cancelled job is
+// simply dropped; finish resolves the race so done closes exactly once.
+// The job's cancel func is released on exit either way.
 func (t *jobTable) watch(j *job, ctx context.Context, ch <-chan Result) {
+	defer j.cancel()
 	select {
 	case res := <-ch:
-		t.mu.Lock()
-		j.state = JobDone
-		j.res = res
-		j.finished = time.Now()
-		t.mu.Unlock()
-		close(j.done)
+		t.finish(j, JobDone, &res)
 	case <-ctx.Done():
-		t.mu.Lock()
-		j.state = JobCancelled
-		j.finished = time.Now()
-		delete(t.jobs, j.id)
-		t.mu.Unlock()
-		close(j.done)
+		t.finish(j, JobCancelled, nil)
 	}
+}
+
+// cancel implements DELETE /v1/jobs/{id}: a pending job's context layer is
+// torn down (dropping its queued work and waking its watcher) and the
+// entry reaped; a finished job is simply removed from the table. Either
+// way the returned status is the job's final state, and the ID is unknown
+// from then on.
+func (t *jobTable) cancel(id JobID) (JobStatus, error) {
+	j, err := t.get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.cancel()
+	if !t.finish(j, JobCancelled, nil) {
+		// Already done: DELETE still removes the resource.
+		t.mu.Lock()
+		delete(t.jobs, id)
+		t.mu.Unlock()
+	}
+	return t.status(j), nil
 }
 
 // get returns the live table entry (expired entries are reaped on touch).

@@ -177,3 +177,73 @@ func TestSubmitQueueFullTyped(t *testing.T) {
 	}
 	release()
 }
+
+// TestJobCancelAPI is the Service.Cancel contract: a pending job is
+// cancelled and reaped (freeing its table slot before the forward pass
+// ever runs), a finished job is removed but reports its terminal state,
+// and unknown IDs stay typed.
+func TestJobCancelAPI(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	x, _ := b[0].Test.Batch(0, 2)
+	release := wedge(t, svc, "m0")
+	defer release()
+
+	id, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := svc.Cancel(id)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if st.State != JobCancelled || st.ID != id {
+		t.Fatalf("Cancel status: %+v", st)
+	}
+	if n := svc.jobs.active(); n != 0 {
+		t.Fatalf("cancelled job still holds a slot (%d active)", n)
+	}
+	if _, err := svc.Poll(id); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Poll after Cancel: %v, want ErrUnknownJob", err)
+	}
+	if _, err := svc.Cancel(id); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("double Cancel: %v, want ErrUnknownJob", err)
+	}
+
+	// Cancelling a completed job removes it but reports the done state.
+	release()
+	id2, err := svc.Submit(context.Background(), Request{Input: sample(x, 1)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := svc.Wait(ctx, id2); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st, err = svc.Cancel(id2)
+	if err != nil {
+		t.Fatalf("Cancel done job: %v", err)
+	}
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("Cancel of done job lost its terminal state: %+v", st)
+	}
+	if _, err := svc.Poll(id2); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("done job survived its DELETE: %v", err)
+	}
+}
+
+// TestJobIDsCarryInstanceTag: IDs embed the table's random instance tag so
+// two replicas of one deployment never mint colliding IDs — the property
+// a fleet router's sticky job map depends on.
+func TestJobIDsCarryInstanceTag(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	x, _ := b[0].Test.Batch(0, 1)
+	id, err := svc.Submit(context.Background(), Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	want := "job-" + svc.jobs.instance + "-"
+	if len(id) != len("job-xxxx-00000000") || string(id[:len(want)]) != want {
+		t.Fatalf("job ID %q does not carry instance tag %q", id, svc.jobs.instance)
+	}
+}

@@ -46,7 +46,7 @@ func TestServeRaceUnderLiveFlips(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				if _, err := srv.Infer(sample(x, (c+i)%8)); err != nil {
+				if _, err := infer(srv, sample(x, (c+i)%8)); err != nil {
 					t.Errorf("client %d: %v", c, err)
 					return
 				}

@@ -17,6 +17,15 @@ import (
 // to 404.
 var ErrUnknownModel = errors.New("serve: unknown model")
 
+// ErrModelExists is returned by AddModel when the name is already hosted.
+// The HTTP front-end maps it to 409.
+var ErrModelExists = errors.New("serve: model already hosted")
+
+// ErrLastModel is returned by RemoveModel when removing the name would
+// leave the service empty — a service always hosts at least one model.
+// The HTTP front-end maps it to 409.
+var ErrLastModel = errors.New("serve: cannot remove the last hosted model")
+
 // hostedModel is one registry entry: a name bound to an engine, the
 // protector guarding its weight image, and the per-model serving runtime
 // (batcher + scrubber + verifier + metrics).
@@ -32,18 +41,23 @@ type hostedModel struct {
 	rekeyMu sync.Mutex
 }
 
-// Registry hosts the service's models. It is immutable after Open (the
-// model set is fixed for the process lifetime), so lookups are lock-free;
-// per-model mutable state lives behind each model's own runtime.
+// Registry hosts the service's models. The model set is mutable at run
+// time — AddModel/RemoveModel grow and shrink it under write exclusion
+// while lookups take the read side — which is what lets a fleet router
+// change a replica's hosted set without restarting the process. Per-model
+// mutable state lives behind each model's own runtime.
 type Registry struct {
+	mu     sync.RWMutex
 	byName map[string]*hostedModel
 	order  []string // registration order; order[0] is the default model
 }
 
 // lookup resolves a model name; the empty name selects the default model
-// (the first registered), which is what the deprecated pre-v1 routes and
-// single-model deployments use.
+// (the first registered still hosted), the single-model deployment
+// shorthand.
 func (r *Registry) lookup(name string) (*hostedModel, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if name == "" {
 		return r.byName[r.order[0]], nil
 	}
@@ -54,9 +68,61 @@ func (r *Registry) lookup(name string) (*hostedModel, error) {
 	return hm, nil
 }
 
+// add registers a new hosted model; the name must be free.
+func (r *Registry) add(hm *hostedModel) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[hm.name]; dup {
+		return fmt.Errorf("%w: %q", ErrModelExists, hm.name)
+	}
+	r.byName[hm.name] = hm
+	r.order = append(r.order, hm.name)
+	return nil
+}
+
+// remove unregisters a hosted model and returns it so the caller can stop
+// its runtime outside the registry lock. Removing the default model
+// promotes the next-oldest registration; removing the last model is
+// refused (the empty-name route must always resolve).
+func (r *Registry) remove(name string) (*hostedModel, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hm, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownModel, name)
+	}
+	if len(r.order) == 1 {
+		return nil, fmt.Errorf("%w (%q)", ErrLastModel, name)
+	}
+	delete(r.byName, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return hm, nil
+}
+
 // Names returns the hosted model names in registration order.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return append([]string(nil), r.order...)
+}
+
+// snapshot returns the hosted models in registration order. Long-running
+// per-model work (scrubs, rekeys) iterates the snapshot without holding
+// the registry lock, so hot add/remove is never blocked behind it; a
+// model removed mid-iteration still finishes its cycle harmlessly.
+func (r *Registry) snapshot() []*hostedModel {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*hostedModel, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.byName[n])
+	}
+	return out
 }
 
 // each runs f over the hosted models in registration order, or over just
@@ -69,8 +135,8 @@ func (r *Registry) each(name string, f func(*hostedModel) error) error {
 		}
 		return f(hm)
 	}
-	for _, n := range r.order {
-		if err := f(r.byName[n]); err != nil {
+	for _, hm := range r.snapshot() {
+		if err := f(hm); err != nil {
 			return err
 		}
 	}

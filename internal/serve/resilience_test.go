@@ -34,7 +34,7 @@ func TestEndToEndResilience(t *testing.T) {
 	cfg.ScrubInterval = 2 * time.Millisecond
 	cfg.ScrubFullEvery = 4
 	cfg.InputShape = []int{b.Spec.Data.Channels, b.Spec.Data.Size, b.Spec.Data.Size}
-	srv := New(eng, prot, cfg)
+	srv := newServer(eng, prot, cfg)
 	srv.Start()
 	defer srv.Stop()
 
@@ -42,7 +42,7 @@ func TestEndToEndResilience(t *testing.T) {
 	x, _ := b.Test.Batch(0, probes)
 	baseline := make([]int, probes)
 	for i := 0; i < probes; i++ {
-		res, err := srv.Infer(sample(x, i))
+		res, err := infer(srv, sample(x, i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func TestEndToEndResilience(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := srv.Infer(sample(x, (c*13+i)%probes)); err != nil {
+				if _, err := infer(srv, sample(x, (c*13+i)%probes)); err != nil {
 					t.Errorf("traffic: %v", err)
 					return
 				}
@@ -101,7 +101,7 @@ func TestEndToEndResilience(t *testing.T) {
 	// be caught by fetch-verify or scrubber, both of which recover).
 	agree := 0
 	for i := 0; i < probes; i++ {
-		res, err := srv.Infer(sample(x, i))
+		res, err := infer(srv, sample(x, i))
 		if err != nil {
 			t.Fatal(err)
 		}

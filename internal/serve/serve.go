@@ -10,10 +10,12 @@
 // Service.Infer(ctx, Request) — context deadlines and cancellation are
 // honored all the way into the batch queue — and the async job API
 // (Submit / Poll / Wait, backed by a bounded job table) answers traffic
-// without parking a connection per request. Handler exposes the versioned
-// HTTP control plane (/v1/models/{name}/infer, /v1/models/{name}/jobs,
-// /v1/jobs/{id}, /v1/models, /v1/admin/scrub, /v1/admin/rekey) plus
-// thin deprecated shims for the pre-v1 routes.
+// without parking a connection per request; DELETE /v1/jobs/{id} (Cancel)
+// tears a pending job down. Handler exposes the versioned HTTP control
+// plane (/v1/models/{name}/infer, /v1/models/{name}/jobs, /v1/jobs/{id},
+// /v1/models, /v1/admin/scrub, /v1/admin/rekey,
+// /v1/admin/models/{name}). The model set is mutable at run time via
+// AddModel/RemoveModel — the hook a fleet router's control plane drives.
 //
 // Per hosted model, four cooperating pieces share one int8 weight image:
 //
@@ -140,11 +142,6 @@ type request struct {
 // header so load balancers retry elsewhere.
 var ErrStopping = errors.New("serve: server stopping")
 
-// ErrServerClosed is the pre-v1 name for ErrStopping.
-//
-// Deprecated: compare with errors.Is(err, ErrStopping).
-var ErrServerClosed = ErrStopping
-
 // ErrQueueFull is returned by non-blocking submissions (the async job
 // path) when the bounded request queue is at capacity. The HTTP front-end
 // maps it to 429.
@@ -152,9 +149,10 @@ var ErrQueueFull = errors.New("serve: request queue full")
 
 // Server binds an int8 inference engine to a RADAR protector and serves
 // batched, continuously-verified inference. It is the per-model runtime a
-// Service hosts one of per registered model; build with New, then Start;
-// Stop drains in-flight requests before returning. Most callers should
-// use Open/Service instead and let the registry manage Server lifecycles.
+// Service hosts one of per registered model; the registry builds one with
+// newServer, Starts it, and Stops it (draining in-flight requests) on
+// removal or shutdown. Use Open/Service — Server has no public
+// constructor since the pre-v1 surface was retired.
 type Server struct {
 	cfg   Config
 	eng   *qinfer.Engine
@@ -180,12 +178,12 @@ type Server struct {
 	start     time.Time
 }
 
-// New wires a server around an engine and the protector guarding the
-// engine's weight image. The engine becomes owned by the server: New
-// installs the fetch hook and weight guard, so it must not be used for
-// unrelated inference afterwards. The protector must protect the same
+// newServer wires a server around an engine and the protector guarding
+// the engine's weight image. The engine becomes owned by the server: the
+// fetch hook and weight guard are installed here, so it must not be used
+// for unrelated inference afterwards. The protector must protect the same
 // quant.Model the engine was compiled from.
-func New(eng *qinfer.Engine, prot *core.Protector, cfg Config) *Server {
+func newServer(eng *qinfer.Engine, prot *core.Protector, cfg Config) *Server {
 	cfg.fillDefaults()
 	m := prot.Model
 	s := &Server{
@@ -270,14 +268,6 @@ func (s *Server) InferContext(ctx context.Context, x *tensor.Tensor) (Result, er
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	}
-}
-
-// Infer is InferContext with a background context.
-//
-// Deprecated: use InferContext (or the Service-level Infer), which honors
-// deadlines and cancellation in the batch queue.
-func (s *Server) Infer(x *tensor.Tensor) (Result, error) {
-	return s.InferContext(context.Background(), x)
 }
 
 // newRequest validates one input and wraps it for the queue.

@@ -1,10 +1,8 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +13,11 @@ import (
 	"radar/internal/quant"
 	"radar/internal/tensor"
 )
+
+// infer is the test shorthand for a background-context InferContext.
+func infer(srv *Server, x *tensor.Tensor) (Result, error) {
+	return srv.InferContext(context.Background(), x)
+}
 
 // newTinyServer boots a server on the tiny test model. Each call builds an
 // independent bundle, so tests may corrupt weights freely.
@@ -28,7 +31,7 @@ func newTinyServer(t testing.TB, cfg Config) (*model.Bundle, *Server) {
 	}
 	prot := core.Protect(b.QModel, core.DefaultConfig(4))
 	cfg.InputShape = []int{b.Spec.Data.Channels, b.Spec.Data.Size, b.Spec.Data.Size}
-	srv := New(eng, prot, cfg)
+	srv := newServer(eng, prot, cfg)
 	srv.Start()
 	t.Cleanup(srv.Stop)
 	return b, srv
@@ -56,7 +59,7 @@ func TestServeMatchesDirectEngine(t *testing.T) {
 	k := ref.Shape[1]
 
 	prot := core.Protect(b.QModel, core.DefaultConfig(4))
-	srv := New(eng, prot, DefaultConfig())
+	srv := newServer(eng, prot, DefaultConfig())
 	srv.Start()
 	defer srv.Stop()
 
@@ -66,7 +69,7 @@ func TestServeMatchesDirectEngine(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := srv.Infer(sample(x, i))
+			res, err := infer(srv, sample(x, i))
 			if err != nil {
 				t.Errorf("Infer %d: %v", i, err)
 				return
@@ -96,10 +99,10 @@ func TestServeMatchesDirectEngine(t *testing.T) {
 
 func TestServeRejectsBadShape(t *testing.T) {
 	_, srv := newTinyServer(t, DefaultConfig())
-	if _, err := srv.Infer(tensor.New(1, 2, 3)); err == nil {
+	if _, err := infer(srv, tensor.New(1, 2, 3)); err == nil {
 		t.Fatal("mismatched input shape accepted")
 	}
-	if _, err := srv.Infer(tensor.New(5)); err == nil {
+	if _, err := infer(srv, tensor.New(5)); err == nil {
 		t.Fatal("rank-1 input accepted")
 	}
 }
@@ -113,7 +116,7 @@ func TestGracefulShutdown(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = srv.Infer(sample(x, i))
+			_, errs[i] = infer(srv, sample(x, i))
 		}(i)
 	}
 	wg.Wait()
@@ -123,8 +126,8 @@ func TestGracefulShutdown(t *testing.T) {
 			t.Fatalf("pre-stop request %d failed: %v", i, err)
 		}
 	}
-	if _, err := srv.Infer(sample(x, 0)); err != ErrServerClosed {
-		t.Fatalf("post-stop Infer returned %v, want ErrServerClosed", err)
+	if _, err := infer(srv, sample(x, 0)); !errors.Is(err, ErrStopping) {
+		t.Fatalf("post-stop Infer returned %v, want ErrStopping", err)
 	}
 	srv.Stop() // idempotent
 }
@@ -138,14 +141,14 @@ func TestVerifiedFetchEpochCache(t *testing.T) {
 	b, srv := newTinyServer(t, cfg)
 	x, _ := b.Test.Batch(0, 4)
 
-	if _, err := srv.Infer(sample(x, 0)); err != nil {
+	if _, err := infer(srv, sample(x, 0)); err != nil {
 		t.Fatal(err)
 	}
 	warm := srv.Snapshot()
 	if warm.VerifyScans == 0 {
 		t.Fatal("first inference did not verify any layer")
 	}
-	if _, err := srv.Infer(sample(x, 1)); err != nil {
+	if _, err := infer(srv, sample(x, 1)); err != nil {
 		t.Fatal(err)
 	}
 	after := srv.Snapshot()
@@ -162,7 +165,7 @@ func TestVerifiedFetchEpochCache(t *testing.T) {
 	srv.Inject(func(m *quant.Model) {
 		m.FlipBit(quant.BitAddress{LayerIndex: 0, WeightIndex: 3, Bit: quant.MSB})
 	})
-	if _, err := srv.Infer(sample(x, 2)); err != nil {
+	if _, err := infer(srv, sample(x, 2)); err != nil {
 		t.Fatal(err)
 	}
 	hit := srv.Snapshot()
@@ -173,7 +176,7 @@ func TestVerifiedFetchEpochCache(t *testing.T) {
 		t.Fatalf("fetch path missed the flip: %+v", hit)
 	}
 	// Verified state is cached again.
-	if _, err := srv.Infer(sample(x, 3)); err != nil {
+	if _, err := infer(srv, sample(x, 3)); err != nil {
 		t.Fatal(err)
 	}
 	if end := srv.Snapshot(); end.VerifyScans != hit.VerifyScans {
@@ -210,77 +213,6 @@ func TestScrubberRepairsBypassingWrites(t *testing.T) {
 	}
 }
 
-func TestHTTPFrontend(t *testing.T) {
-	b, srv := newTinyServer(t, DefaultConfig())
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-
-	// healthz
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var health struct {
-		Status string `json:"status"`
-		Layers int    `json:"layers"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if health.Status != "ok" || health.Layers != len(b.QModel.Layers) {
-		t.Fatalf("healthz: %+v", health)
-	}
-
-	// infer: two inputs in one request
-	x, _ := b.Test.Batch(0, 2)
-	vol := tensor.Volume(x.Shape[1:])
-	body, _ := json.Marshal(InferRequest{
-		Inputs: [][]float32{x.Data[:vol], x.Data[vol : 2*vol]},
-	})
-	resp, err = http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("infer status %d", resp.StatusCode)
-	}
-	var out InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if len(out.Results) != 2 || len(out.Results[0].Logits) == 0 {
-		t.Fatalf("infer response: %+v", out)
-	}
-
-	// bad requests
-	resp, _ = http.Post(ts.URL+"/infer", "application/json", bytes.NewReader([]byte(`{"input":[1,2]}`)))
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("short input accepted: %d", resp.StatusCode)
-	}
-	resp.Body.Close()
-	resp, _ = http.Get(ts.URL + "/infer")
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /infer: %d", resp.StatusCode)
-	}
-	resp.Body.Close()
-
-	// metrics
-	resp, err = http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var snap Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if snap.Requests < 2 {
-		t.Fatalf("metrics saw %d requests, want >= 2", snap.Requests)
-	}
-}
-
 // TestBatchWindowFlush: a single request must not wait forever for a full
 // batch — the MaxLatency timer flushes it.
 func TestBatchWindowFlush(t *testing.T) {
@@ -292,7 +224,7 @@ func TestBatchWindowFlush(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := srv.Infer(sample(x, 0)); err != nil {
+		if _, err := infer(srv, sample(x, 0)); err != nil {
 			t.Errorf("Infer: %v", err)
 		}
 	}()

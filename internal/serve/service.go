@@ -36,9 +36,10 @@ type modelSpec struct {
 }
 
 type serviceConfig struct {
-	models []modelSpec
-	jobCap int
-	jobTTL time.Duration
+	models   []modelSpec
+	jobCap   int
+	jobTTL   time.Duration
+	provider ModelProvider
 }
 
 // DefaultJobCapacity bounds the async job table when WithJobCapacity is
@@ -137,6 +138,22 @@ func WithJobTTL(d time.Duration) ServiceOption {
 	}
 }
 
+// ModelProvider materializes a model from a wire-level add request: given
+// the name to host it under and an opaque source string (for radar-serve,
+// a zoo model name), it builds the engine + protector pair and any
+// per-model options. It backs POST /v1/admin/models/{name}; a service
+// without a provider answers that route 501.
+type ModelProvider func(name, source string) (*qinfer.Engine, *core.Protector, []ModelOption, error)
+
+// WithModelProvider installs the provider the HTTP admin plane uses to
+// hot-add models by source name.
+func WithModelProvider(p ModelProvider) ServiceOption {
+	return func(sc *serviceConfig) error {
+		sc.provider = p
+		return nil
+	}
+}
+
 func validModelName(name string) error {
 	if name == "" {
 		return errors.New("serve: model name must not be empty")
@@ -157,9 +174,10 @@ func validModelName(name string) error {
 // control plane (Handler). Build with Open; Close shuts everything down
 // gracefully.
 type Service struct {
-	reg    *Registry
-	jobs   *jobTable
-	closed atomic.Bool
+	reg      *Registry
+	jobs     *jobTable
+	provider ModelProvider
+	closed   atomic.Bool
 }
 
 // Open builds and starts a Service from functional options. At least one
@@ -178,22 +196,20 @@ func Open(opts ...ServiceOption) (*Service, error) {
 	}
 	reg := &Registry{byName: make(map[string]*hostedModel, len(sc.models))}
 	for _, ms := range sc.models {
-		if _, dup := reg.byName[ms.name]; dup {
-			return nil, fmt.Errorf("serve: duplicate model name %q", ms.name)
-		}
 		hm := &hostedModel{
 			name: ms.name,
 			eng:  ms.eng,
 			prot: ms.prot,
-			srv:  New(ms.eng, ms.prot, ms.cfg),
+			srv:  newServer(ms.eng, ms.prot, ms.cfg),
 		}
-		reg.byName[ms.name] = hm
-		reg.order = append(reg.order, ms.name)
+		if err := reg.add(hm); err != nil {
+			return nil, err
+		}
 	}
-	for _, name := range reg.order {
-		reg.byName[name].srv.Start()
+	for _, hm := range reg.snapshot() {
+		hm.srv.Start()
 	}
-	return &Service{reg: reg, jobs: newJobTable(sc.jobCap, sc.jobTTL)}, nil
+	return &Service{reg: reg, jobs: newJobTable(sc.jobCap, sc.jobTTL), provider: sc.provider}, nil
 }
 
 // Close gracefully stops every hosted model: new submissions fail with
@@ -203,9 +219,55 @@ func (s *Service) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, name := range s.reg.order {
-		s.reg.byName[name].srv.Stop()
+	for _, hm := range s.reg.snapshot() {
+		hm.srv.Stop()
 	}
+}
+
+// AddModel hot-adds a model to a running service: the runtime (workers,
+// batcher, scrubber, verifier) is built and started exactly as in Open,
+// then the name is published to the registry, so the first request routed
+// to it already finds a live runtime. Same contract as WithModel: the
+// protector must protect the quant.Model the engine was compiled from,
+// and the engine becomes owned by the service.
+func (s *Service) AddModel(name string, eng *qinfer.Engine, prot *core.Protector, opts ...ModelOption) error {
+	if s.closed.Load() {
+		return ErrStopping
+	}
+	if err := validModelName(name); err != nil {
+		return err
+	}
+	if eng == nil || prot == nil {
+		return fmt.Errorf("serve: model %q needs a non-nil engine and protector", name)
+	}
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	hm := &hostedModel{name: name, eng: eng, prot: prot, srv: newServer(eng, prot, cfg)}
+	hm.srv.Start()
+	if err := s.reg.add(hm); err != nil {
+		hm.srv.Stop() // name collision: tear the fresh runtime back down
+		return err
+	}
+	return nil
+}
+
+// RemoveModel hot-removes a hosted model: the name is unpublished first
+// (new requests fail with ErrUnknownModel), then the runtime drains —
+// queued requests are still answered — and stops. The last hosted model
+// cannot be removed; removing the default promotes the next-oldest
+// registration.
+func (s *Service) RemoveModel(name string) error {
+	if s.closed.Load() {
+		return ErrStopping
+	}
+	hm, err := s.reg.remove(name)
+	if err != nil {
+		return err
+	}
+	hm.srv.Stop()
+	return nil
 }
 
 // Infer answers one request synchronously, honoring ctx deadlines and
@@ -232,17 +294,33 @@ func (s *Service) Submit(ctx context.Context, req Request) (JobID, error) {
 	if err != nil {
 		return "", err
 	}
-	j, err := s.jobs.create(hm.name)
+	// Every job gets its own cancel handle layered over the submission
+	// context, so Cancel (and DELETE /v1/jobs/{id}) can kill it even when
+	// the submitter's context never fires.
+	jctx, jcancel := context.WithCancel(ctx)
+	j, err := s.jobs.create(hm.name, jcancel)
 	if err != nil {
+		jcancel()
 		return "", err
 	}
-	ch, err := hm.srv.trySubmit(ctx, req.Input)
+	ch, err := hm.srv.trySubmit(jctx, req.Input)
 	if err != nil {
 		s.jobs.abort(j.id)
+		jcancel()
 		return "", err
 	}
-	go s.jobs.watch(j, ctx, ch)
+	go s.jobs.watch(j, jctx, ch)
 	return j.id, nil
+}
+
+// Cancel cancels a pending job — its queued work is dropped before the
+// forward pass, its table slot is freed immediately, and any Wait returns
+// ErrJobCancelled — and returns the job's final status. Cancelling a job
+// that already completed removes it from the table (the DELETE-a-resource
+// reading) and reports its terminal "done" state. Unknown, expired or
+// already-cancelled IDs return ErrUnknownJob.
+func (s *Service) Cancel(id JobID) (JobStatus, error) {
+	return s.jobs.cancel(id)
 }
 
 // Poll reports a job's current status without blocking. Unknown IDs —
@@ -281,9 +359,10 @@ func (s *Service) Wait(ctx context.Context, id JobID) (Result, error) {
 // Models snapshots every hosted model's identity, configuration and live
 // metrics, in registration order.
 func (s *Service) Models() []ModelInfo {
-	out := make([]ModelInfo, 0, len(s.reg.order))
-	for _, name := range s.reg.order {
-		out = append(out, s.reg.byName[name].info())
+	hms := s.reg.snapshot()
+	out := make([]ModelInfo, 0, len(hms))
+	for _, hm := range hms {
+		out = append(out, hm.info())
 	}
 	return out
 }

@@ -389,3 +389,73 @@ func TestAdminScrubAllModels(t *testing.T) {
 		t.Fatalf("scrub of unknown model: %v", err)
 	}
 }
+
+// TestHotAddRemoveModel grows and shrinks a running service's model set:
+// an added model serves immediately, a removed model's name 404s while
+// the survivors keep answering, and the structural guards (duplicate
+// name, last model) fail typed.
+func TestHotAddRemoveModel(t *testing.T) {
+	svc, b, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)})
+	ctx := context.Background()
+	x, _ := b[0].Test.Batch(0, 2)
+
+	eng, prot, opts, err := tinyProvider("m9", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddModel("m9", eng, prot, opts...); err != nil {
+		t.Fatalf("AddModel: %v", err)
+	}
+	if _, err := svc.Infer(ctx, Request{Model: "m9", Input: sample(x, 0)}); err != nil {
+		t.Fatalf("infer on hot-added model: %v", err)
+	}
+	if names := svc.reg.Names(); len(names) != 2 || names[1] != "m9" {
+		t.Fatalf("registry after add: %v", names)
+	}
+
+	// Duplicate name is refused and must not wedge the fresh runtime.
+	eng2, prot2, opts2, _ := tinyProvider("m9", "tiny")
+	if err := svc.AddModel("m9", eng2, prot2, opts2...); !errors.Is(err, ErrModelExists) {
+		t.Fatalf("duplicate AddModel: %v, want ErrModelExists", err)
+	}
+
+	if err := svc.RemoveModel("m9"); err != nil {
+		t.Fatalf("RemoveModel: %v", err)
+	}
+	if _, err := svc.Infer(ctx, Request{Model: "m9", Input: sample(x, 0)}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("infer on removed model: %v, want ErrUnknownModel", err)
+	}
+	if _, err := svc.Infer(ctx, Request{Model: "m0", Input: sample(x, 1)}); err != nil {
+		t.Fatalf("survivor stopped serving after a remove: %v", err)
+	}
+	if err := svc.RemoveModel("m0"); !errors.Is(err, ErrLastModel) {
+		t.Fatalf("removing the last model: %v, want ErrLastModel", err)
+	}
+	if err := svc.RemoveModel("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("removing unknown model: %v, want ErrUnknownModel", err)
+	}
+}
+
+// TestRemoveDefaultPromotes: removing the default (first-registered) model
+// promotes the next-oldest registration, so the empty-name route always
+// resolves.
+func TestRemoveDefaultPromotes(t *testing.T) {
+	svc, b, _ := openTiny(t, 2, []ModelOption{WithScrub(0, 0)})
+	ctx := context.Background()
+	x, _ := b[0].Test.Batch(0, 1)
+
+	if err := svc.RemoveModel("m0"); err != nil {
+		t.Fatalf("RemoveModel(m0): %v", err)
+	}
+	res, err := svc.Infer(ctx, Request{Input: sample(x, 0)})
+	if err != nil {
+		t.Fatalf("default route after removing the default: %v", err)
+	}
+	want, err := svc.Infer(ctx, Request{Model: "m1", Input: sample(x, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != want.Class {
+		t.Fatalf("default did not promote to m1: class %d vs %d", res.Class, want.Class)
+	}
+}

@@ -3,12 +3,54 @@
 # the working tree, then print a benchstat-style before/after table
 # (old ns/op, new ns/op, delta, plus MB/s where reported).
 #
+# bench_compare.sh --gate [MAX_DROP] — the CI perf-regression gate:
+# regenerate the BENCH_*.json artifacts into a scratch directory and
+# compare them against the committed baselines in the repo root, failing
+# (exit 1) when any tracked MB/s or req/s metric drops more than MAX_DROP
+# percent (default 10). A `[bench-skip]` marker anywhere in the last
+# commit message skips the gate — the escape hatch for commits that
+# knowingly trade throughput. The markdown delta table is printed to
+# stdout and, when GITHUB_STEP_SUMMARY is set, appended there too.
+#
 # The base ref is checked out into a temporary git worktree, so the working
 # tree (including uncommitted changes) is never touched. Environment knobs:
 #   BENCH  benchmark regexp             (default: Scan|Serve|Conv|Signature)
 #   COUNT  -count per side              (default: 3; best-of is compared)
 #   PKGS   packages to benchmark        (default: . ./internal/qinfer/)
 set -eu
+
+if [ "${1:-}" = "--gate" ]; then
+	MAX_DROP=${2:-10}
+	root=$(git rev-parse --show-toplevel)
+	cd "$root"
+	if git log -1 --pretty=%B | grep -qF '[bench-skip]'; then
+		echo "perf gate skipped: [bench-skip] in the last commit message"
+		if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+			echo "Perf gate skipped (\`[bench-skip]\`)." >> "$GITHUB_STEP_SUMMARY"
+		fi
+		exit 0
+	fi
+	# BENCH_OUT keeps the fresh artifacts (CI uploads them); otherwise
+	# they live in a scratch directory removed on exit.
+	if [ -n "${BENCH_OUT:-}" ]; then
+		fresh=$BENCH_OUT
+		mkdir -p "$fresh"
+	else
+		fresh=$(mktemp -d)
+		trap 'rm -rf "$fresh"' EXIT
+	fi
+	echo "== regenerating BENCH artifacts into $fresh =="
+	make bench-artifacts BENCH_OUT="$fresh"
+	echo "== gating against committed baselines (max drop ${MAX_DROP}%) =="
+	status=0
+	go run ./cmd/radar-bench -gate -baseline . -fresh "$fresh" -max-drop "$MAX_DROP" \
+		> "$fresh/gate.md" || status=$?
+	cat "$fresh/gate.md"
+	if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+		cat "$fresh/gate.md" >> "$GITHUB_STEP_SUMMARY"
+	fi
+	exit $status
+fi
 
 REF=${1:-HEAD~1}
 BENCH=${BENCH:-'Scan|Serve|Conv|Signature'}

@@ -26,8 +26,10 @@ import (
 //
 // svc.Handler() serves the versioned HTTP control plane
 // (/v1/models/{name}/infer, /v1/models/{name}/jobs, /v1/jobs/{id},
-// /v1/models, /v1/admin/scrub, /v1/admin/rekey) with the pre-v1 routes
-// kept as deprecated shims for one release.
+// /v1/models, /v1/admin/scrub, /v1/admin/rekey,
+// /v1/admin/models/{name}). Multiple services scale out behind the
+// radar-fleet consistent-hash router (internal/fleet), which exposes the
+// identical /v1 surface.
 
 // Engine is the compiled int8 inference engine a served model runs on;
 // see qinfer.Engine.
@@ -75,8 +77,22 @@ type (
 	JobStatus = serve.JobStatus
 )
 
+// ServeModelProvider builds a model runtime on demand for hot-add; see
+// serve.ModelProvider.
+type ServeModelProvider = serve.ModelProvider
+
+// WithServeModelProvider installs the provider backing hot model adds
+// (POST /v1/admin/models/{name} and Service.AddModel).
+func WithServeModelProvider(p ServeModelProvider) ServiceOption {
+	return serve.WithModelProvider(p)
+}
+
 // Serving errors, all errors.Is-able.
 var (
+	// ErrModelExists: hot-add named an already hosted model (409).
+	ErrModelExists = serve.ErrModelExists
+	// ErrLastModel: hot-remove would empty the service (409).
+	ErrLastModel = serve.ErrLastModel
 	// ErrStopping: submission raced a graceful shutdown (HTTP: 503).
 	ErrStopping = serve.ErrStopping
 	// ErrQueueFull: non-blocking async submit hit a full batch queue (429).
