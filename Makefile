@@ -11,11 +11,12 @@ test:
 	$(GO) test -timeout 30m ./...
 
 # Race-detect the concurrent subsystems: the parallel scan engine, the
-# serving stack (batching + scrubber + verified fetch under live flips)
-# and the inference engine's pooled conv scratch, plus the differential
-# kernel property/fuzz seeds.
+# serving stack (batching + scrubber + verified fetch under live flips),
+# the inference engine's pooled conv scratch, the lock-free metrics
+# registry under concurrent scrapes, and the fleet router, plus the
+# differential kernel property/fuzz seeds.
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/... ./internal/obs/... ./internal/fleet/...
 
 # Full benchmark sweep (slow; trains zoo models on first run).
 bench:

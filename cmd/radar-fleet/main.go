@@ -10,6 +10,7 @@
 //	            -replica http://10.0.0.3:8080 \
 //	            [-addr :9090] [-vnodes 64] [-health-interval 1s]
 //	            [-health-timeout 2s] [-fail-threshold 2] [-drain-wait 500ms]
+//	            [-debug-addr :6061] [-log-requests]
 //
 // Endpoints:
 //
@@ -24,6 +25,8 @@
 //	POST   /v1/admin/models/{name}  broadcast hot-add
 //	DELETE /v1/admin/models/{name}  broadcast hot-remove
 //	GET    /v1/fleet                replica health and ring membership
+//	GET    /v1/metrics              router series + replica-labelled scrape
+//	GET    /v1/debug/traces         merged per-request stage timings
 //
 // SIGINT/SIGTERM drains the HTTP listener, then stops the health prober.
 package main
@@ -32,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +44,8 @@ import (
 	"time"
 
 	"radar/internal/fleet"
+	"radar/internal/obs"
+	"radar/internal/serve"
 )
 
 // replicaFlag collects repeatable -replica base URLs.
@@ -61,6 +67,8 @@ func main() {
 		healthTimeout  = flag.Duration("health-timeout", 2*time.Second, "health probe timeout")
 		failThreshold  = flag.Int("fail-threshold", 2, "consecutive probe failures before a replica is ejected")
 		drainWait      = flag.Duration("drain-wait", 500*time.Millisecond, "settle time after draining a replica during rolling rekey")
+		debugAddr      = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty disables)")
+		logReqs        = flag.Bool("log-requests", false, "log every HTTP request (id, method, path, status, duration) via slog")
 	)
 	flag.Parse()
 	if len(replicas) == 0 {
@@ -80,7 +88,20 @@ func main() {
 	}
 	f.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: f.Handler()}
+	var handler http.Handler = f.Handler()
+	if *logReqs {
+		handler = serve.LogRequests(handler, slog.Default())
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.PprofHandler()); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("routing %d replica(s) [%s] on %s — vnodes=%d probe=%v eject-after=%d",
 			len(replicas), strings.Join(replicas, ", "), *addr, *vnodes, *healthInterval, *failThreshold)

@@ -11,6 +11,7 @@
 //	            [-addr :8080] [-g 8] [-batch 8] [-batch-latency 2ms]
 //	            [-workers N] [-queue 256] [-verify] [-scrub 100ms]
 //	            [-scrub-full-every 8] [-scan-workers N] [-jobs 1024]
+//	            [-debug-addr :6060] [-log-requests]
 //
 // -model is repeatable; "name=zoo" serves zoo model zoo under name, and a
 // bare "zoo" uses the zoo name itself. The tuning flags apply to every
@@ -23,6 +24,8 @@
 //	GET    /v1/jobs/{id}            poll a job
 //	DELETE /v1/jobs/{id}            cancel a job
 //	GET    /v1/models               hosted models, health, live metrics
+//	GET    /v1/metrics              Prometheus text exposition
+//	GET    /v1/debug/traces         recent per-request stage timings
 //	POST   /v1/admin/scrub          force a scrub cycle now
 //	POST   /v1/admin/rekey          rotate protection secrets live
 //	POST   /v1/admin/models/{name}  hot-add a zoo model ({"source":"tiny"})
@@ -38,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +51,7 @@ import (
 
 	"radar/internal/core"
 	"radar/internal/model"
+	"radar/internal/obs"
 	"radar/internal/qinfer"
 	"radar/internal/serve"
 )
@@ -75,6 +80,8 @@ func main() {
 		scrubFull = flag.Int("scrub-full-every", 8, "every Nth scrub cycle is a full scan")
 		scanWk    = flag.Int("scan-workers", 0, "scan engine worker pool per model (0 = one per CPU)")
 		jobs      = flag.Int("jobs", serve.DefaultJobCapacity, "async job table capacity")
+		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty disables)")
+		logReqs   = flag.Bool("log-requests", false, "log every HTTP request (id, method, path, status, duration) via slog")
 	)
 	flag.Parse()
 	if len(models) == 0 {
@@ -170,7 +177,20 @@ func main() {
 		log.Fatalf("open service: %v", err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	var handler http.Handler = svc.Handler()
+	if *logReqs {
+		handler = serve.LogRequests(handler, slog.Default())
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.PprofHandler()); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		names := make([]string, len(hostedModels))
 		for i, h := range hostedModels {

@@ -158,6 +158,8 @@ type Stats struct {
 	GroupsRecovered int64
 	// WeightsZeroed counts individual weights zeroed during recovery.
 	WeightsZeroed int64
+	// Rekeys counts full signature-key rotations (Rekey calls).
+	Rekeys int64
 }
 
 // Stats returns the current activity counters. Safe to call concurrently
@@ -169,6 +171,7 @@ func (p *Protector) Stats() Stats {
 		GroupsFlagged:   p.stats.groupsFlagged.Load(),
 		GroupsRecovered: p.stats.groupsRecovered.Load(),
 		WeightsZeroed:   p.stats.weightsZeroed.Load(),
+		Rekeys:          p.stats.rekeys.Load(),
 	}
 }
 

@@ -76,7 +76,7 @@ type Protector struct {
 	guard *LayerGuard
 	// stats are the activity counters exported by Stats.
 	stats struct {
-		scans, bytesScanned, groupsFlagged, groupsRecovered, weightsZeroed atomic.Int64
+		scans, bytesScanned, groupsFlagged, groupsRecovered, weightsZeroed, rekeys atomic.Int64
 	}
 }
 

@@ -50,4 +50,5 @@ func (p *Protector) Rekey(cfg Config) {
 	p.workers = fresh.workers
 	p.shardGroups = fresh.shardGroups
 	p.mu.Unlock()
+	p.stats.rekeys.Add(1)
 }

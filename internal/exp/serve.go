@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"radar/internal/attack"
@@ -45,6 +47,10 @@ type ServeRun struct {
 	// (found by a final quiesced sweep; expected 0 when any protection is
 	// on, and > 0 for the unprotected baseline under attack).
 	ResidualFlagged int `json:"residual_flagged"`
+	// MetricsScrapes counts full registry expositions taken concurrently
+	// with traffic (one at start, then one per second) — the scrape path
+	// runs inside the measured window, so its cost shows up in RPS.
+	MetricsScrapes int `json:"metrics_scrapes,omitempty"`
 }
 
 // ServeMultiModel is the multi-model scenario's result: N independently
@@ -168,6 +174,30 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 		return t
 	}
 
+	// Scrape concurrently with traffic, Prometheus-style: once up front,
+	// then every second — the exposition cost lands inside the measured
+	// window, so a scrape-path regression shows up in the RPS gate.
+	var scrapes atomic.Int64
+	scrapeStop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		svc.WriteMetrics(io.Discard)
+		scrapes.Add(1)
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			case <-t.C:
+				svc.WriteMetrics(io.Discard)
+				scrapes.Add(1)
+			}
+		}
+	}()
+
 	ctx := context.Background()
 	var served int64
 	var mu sync.Mutex
@@ -198,6 +228,8 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 	}
 	wg.Wait()
 	dt := time.Since(t0)
+	close(scrapeStop)
+	scrapeWG.Wait()
 	snap, _ := svc.Snapshot("tiny")
 	svc.Close()
 	*rounds = attacks
@@ -219,6 +251,7 @@ func serveOneRun(name string, scrub, verify bool, clients, perClient, flipsPerRo
 		GroupsFlagged:   st.GroupsFlagged,
 		WeightsZeroed:   st.WeightsZeroed,
 		ResidualFlagged: len(residual),
+		MetricsScrapes:  int(scrapes.Load()),
 	}
 }
 

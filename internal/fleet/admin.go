@@ -98,6 +98,8 @@ func (f *Fleet) handleRollingRekey(w http.ResponseWriter, r *http.Request) {
 	}
 	f.rekeyMu.Lock()
 	defer f.rekeyMu.Unlock()
+	rekeyStart := time.Now()
+	defer func() { f.met.rekeySeconds.Observe(time.Since(rekeyStart).Seconds()) }()
 	out := make([]ReplicaReport, 0, len(f.order))
 	for _, base := range f.order {
 		rep := ReplicaReport{Replica: base}

@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"radar/internal/obs"
 )
 
 // Config tunes a Fleet.
@@ -81,7 +83,8 @@ func (c *Config) fillDefaults() {
 
 // replica is the router's view of one backend.
 type replica struct {
-	url string
+	url  string
+	host string // host:port, the replica label on scraped series
 
 	mu       sync.Mutex
 	healthy  bool
@@ -118,6 +121,12 @@ type Fleet struct {
 	// the ring.
 	rekeyMu sync.Mutex
 
+	// obs holds the router's own metric families (routing, health,
+	// failover); met is the typed handle onto them. Replica series are not
+	// mirrored here — the aggregated scrape re-emits them live.
+	obs *obs.Registry
+	met *fleetMetrics
+
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started atomic.Bool
@@ -148,10 +157,12 @@ func New(cfg Config) (*Fleet, error) {
 		if _, dup := f.replicas[base]; dup {
 			return nil, fmt.Errorf("fleet: duplicate replica %q", base)
 		}
-		f.replicas[base] = &replica{url: base, healthy: true}
+		f.replicas[base] = &replica{url: base, host: u.Host, healthy: true}
 		f.order = append(f.order, base)
 		f.ring.Add(base)
 	}
+	f.obs = obs.NewRegistry()
+	f.initMetrics(f.obs)
 	return f, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"radar/internal/obs"
 	"radar/internal/serve"
 )
 
@@ -30,6 +31,7 @@ type stubReplica struct {
 	adds    []string
 	removes []string
 	broken  atomic.Bool // answer 500 on everything while set
+	shed    atomic.Bool // answer 429 on infer while set (queue full)
 }
 
 func newStubReplica(name string, models ...string) *stubReplica {
@@ -53,6 +55,11 @@ func newStubReplica(name string, models ...string) *stubReplica {
 	mux.HandleFunc("POST /v1/models/{model}/infer", func(w http.ResponseWriter, r *http.Request) {
 		if s.broken.Load() {
 			http.Error(w, "broken", http.StatusInternalServerError)
+			return
+		}
+		if s.shed.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
 			return
 		}
 		m := r.PathValue("model")
@@ -127,6 +134,30 @@ func newStubReplica(name string, models ...string) *stubReplica {
 		s.removes = append(s.removes, r.PathValue("name"))
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.broken.Load() {
+			http.Error(w, "broken", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", obs.ExpositionContentType)
+		fmt.Fprintf(w, "# HELP radar_requests_total Inference requests answered.\n")
+		fmt.Fprintf(w, "# TYPE radar_requests_total counter\n")
+		s.mu.Lock()
+		for _, m := range models {
+			fmt.Fprintf(w, "radar_requests_total{model=%q} %d\n", m, s.infers[m])
+		}
+		s.mu.Unlock()
+		fmt.Fprintf(w, "# HELP radar_stub_uptime_seconds Stub liveness.\n")
+		fmt.Fprintf(w, "# TYPE radar_stub_uptime_seconds gauge\n")
+		fmt.Fprintf(w, "radar_stub_uptime_seconds 1\n")
+	})
+	mux.HandleFunc("GET /v1/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.NewTracesResponse([]obs.Trace{{
+			ID: "req-" + name, Model: models[0], Start: time.Now(), TotalMs: 1.5,
+			Stages: []obs.Stage{{Name: "queue", Ms: 0.1}, {Name: "forward", Ms: 1.4}},
+		}}))
 	})
 	s.ts = httptest.NewServer(mux)
 	return s

@@ -61,9 +61,11 @@ func (f *Fleet) noteProbe(r *replica, err error) {
 	if err != nil {
 		r.fails++
 		r.lastErr = err.Error()
+		f.met.probeFailures.With(r.host).Inc()
 		if r.healthy && r.fails >= f.cfg.FailThreshold {
 			r.healthy = false
 			f.ring.Remove(r.url)
+			f.met.ejections.With(r.host).Inc()
 		}
 		return
 	}
@@ -91,6 +93,9 @@ func (f *Fleet) noteTransportFailure(base string, err error) {
 	defer r.mu.Unlock()
 	r.fails = f.cfg.FailThreshold
 	r.lastErr = err.Error()
+	if r.healthy {
+		f.met.ejections.With(r.host).Inc()
+	}
 	r.healthy = false
 	f.ring.Remove(r.url)
 }

@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"radar/internal/obs"
+	"radar/internal/serve"
+)
+
+// rekeyBuckets covers rolling-rekey wall time: sub-second for tiny test
+// fleets through a minute for many large replicas with long drain waits.
+var rekeyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// fleetMetrics holds the router's own instruments (the replicas' series
+// are scraped, not mirrored — see handleMetrics).
+type fleetMetrics struct {
+	requests      *obs.CounterVec // by matched route pattern
+	failovers     *obs.Counter    // transport-error failover replays
+	shedFailovers *obs.Counter    // 429-shed failover replays
+	retries       *obs.Counter    // all failover replays
+	probeFailures *obs.CounterVec // by replica host
+	ejections     *obs.CounterVec // by replica host
+	scrapeErrors  *obs.CounterVec // by replica host
+	rekeySeconds  *obs.Histogram
+}
+
+// initMetrics registers the router's families on reg and binds the
+// per-replica function gauges. Called once from New, after the replica map
+// is built.
+func (f *Fleet) initMetrics(reg *obs.Registry) {
+	f.met = &fleetMetrics{
+		requests:      reg.Counter("radar_fleet_requests_total", "Requests handled by the fleet router.", "route"),
+		failovers:     reg.Counter("radar_fleet_failovers_total", "Sync requests replayed on another owner after a transport failure.").With(),
+		shedFailovers: reg.Counter("radar_fleet_shed_failover_total", "Sync requests replayed on another owner after a 429 queue-full shed.").With(),
+		retries:       reg.Counter("radar_fleet_retries_total", "All failover replays (transport plus shed).").With(),
+		probeFailures: reg.Counter("radar_fleet_probe_failures_total", "Failed health probes.", "replica"),
+		ejections:     reg.Counter("radar_fleet_replica_ejections_total", "Healthy-to-ejected transitions.", "replica"),
+		scrapeErrors:  reg.Counter("radar_fleet_scrape_errors_total", "Failed replica scrapes during aggregated /v1/metrics.", "replica"),
+		rekeySeconds:  reg.Histogram("radar_fleet_rekey_seconds", "Wall time of whole rolling rekeys.", rekeyBuckets).With(),
+	}
+	up := reg.Gauge("radar_fleet_replica_up", "1 while the replica is in the routing ring.", "replica")
+	for _, base := range f.order {
+		r := f.replicas[base]
+		url := r.url
+		up.Func(func() float64 {
+			if f.ring.Has(url) {
+				return 1
+			}
+			return 0
+		}, r.host)
+	}
+	reg.Gauge("radar_fleet_sticky_jobs", "Async jobs currently pinned to their minting replica.").
+		Func(func() float64 {
+			n := 0
+			f.jobs.Range(func(any, any) bool { n++; return true })
+			return float64(n)
+		})
+}
+
+// MetricNames returns the router's registered metric family names — what
+// the naming-lint test checks.
+func (f *Fleet) MetricNames() []string { return f.obs.Names() }
+
+// WriteMetrics writes the router's own series in the Prometheus text
+// format (no replica scraping — that is handleMetrics' job).
+func (f *Fleet) WriteMetrics(w *bufio.Writer) error {
+	_, err := f.obs.WriteTo(w)
+	return err
+}
+
+// scrapedFamily is one metric family re-assembled from replica scrapes:
+// the metadata lines from the first replica that exposed it plus every
+// replica's sample lines, each tagged with that replica's host.
+type scrapedFamily struct {
+	help    string
+	typ     string
+	samples []string
+}
+
+// injectReplicaLabel rewrites one sample line to carry replica="host" as
+// its first label: `name{a="b"} v` → `name{replica="host",a="b"} v` and
+// `name v` → `name{replica="host"} v`.
+func injectReplicaLabel(line, host string) string {
+	tag := `replica="` + host + `"`
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		return line[:i+1] + tag + "," + line[i+1:]
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return line
+	}
+	return line[:i] + "{" + tag + "}" + line[i:]
+}
+
+// scrapeReplica pulls one replica's /v1/metrics and folds its families
+// into fams/order under the replica's host label. Sample lines attach to
+// the family named by the preceding # TYPE/# HELP comments, so histogram
+// _bucket/_sum/_count lines stay grouped with their family.
+func (f *Fleet) scrapeReplica(ctx context.Context, base, host string, fams map[string]*scrapedFamily, order *[]string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errStatus(resp.StatusCode)
+	}
+	var cur *scrapedFamily
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	get := func(name string) *scrapedFamily {
+		fam, ok := fams[name]
+		if !ok {
+			fam = &scrapedFamily{}
+			fams[name] = fam
+			*order = append(*order, name)
+		}
+		return fam
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, help, _ := strings.Cut(rest, " ")
+			fam := get(name)
+			if fam.help == "" {
+				fam.help = help
+			}
+			cur = fam
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := line[len("# TYPE "):]
+			name, typ, _ := strings.Cut(rest, " ")
+			fam := get(name)
+			if fam.typ == "" {
+				fam.typ = typ
+			}
+			cur = fam
+		case line == "" || strings.HasPrefix(line, "#"):
+			// blank or other comment: ignore
+		default:
+			if cur != nil {
+				cur.samples = append(cur.samples, injectReplicaLabel(line, host))
+			}
+		}
+	}
+	return sc.Err()
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return "status " + strconv.Itoa(int(e)) }
+
+// handleMetrics is the router's GET /v1/metrics: its own routing series
+// first, then every in-ring replica's exposition re-emitted with a
+// replica="host:port" label — one scrape sees the whole fleet. A replica
+// that fails mid-scrape is skipped (and counted in
+// radar_fleet_scrape_errors_total); its series simply go stale for this
+// sample.
+func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	bw := bufio.NewWriter(w)
+	f.obs.WriteTo(bw)
+	fams := make(map[string]*scrapedFamily)
+	var order []string
+	for _, base := range f.ring.Members() {
+		rep, ok := f.replicas[base]
+		if !ok {
+			continue
+		}
+		if err := f.scrapeReplica(r.Context(), base, rep.host, fams, &order); err != nil {
+			f.met.scrapeErrors.With(rep.host).Inc()
+		}
+	}
+	for _, name := range order {
+		fam := fams[name]
+		if len(fam.samples) == 0 {
+			continue
+		}
+		if fam.help != "" {
+			bw.WriteString("# HELP " + name + " " + fam.help + "\n")
+		}
+		if fam.typ != "" {
+			bw.WriteString("# TYPE " + name + " " + fam.typ + "\n")
+		}
+		for _, s := range fam.samples {
+			bw.WriteString(s + "\n")
+		}
+	}
+	bw.Flush()
+}
+
+// handleTraces is the router's GET /v1/debug/traces: it fans out to every
+// in-ring replica, tags each returned trace with its replica host, merges
+// newest-first and truncates to n — per-stage timings for routed requests,
+// fleet-wide.
+func (f *Fleet) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var merged []obs.Trace
+	for _, base := range f.ring.Members() {
+		rep, ok := f.replicas[base]
+		if !ok {
+			continue
+		}
+		resp, err := f.send(r, base, "/v1/debug/traces?n="+strconv.Itoa(n), nil)
+		if err != nil {
+			continue
+		}
+		var one serve.TracesResponse
+		err = json.NewDecoder(resp.Body).Decode(&one)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		for _, t := range one.Traces {
+			t.Replica = rep.host
+			merged = append(merged, t)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Start.After(merged[j].Start) })
+	if len(merged) > n {
+		merged = merged[:n]
+	}
+	writeJSON(w, http.StatusOK, serve.NewTracesResponse(merged))
+}

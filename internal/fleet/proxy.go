@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"radar/internal/obs"
 	"radar/internal/serve"
 )
 
@@ -25,6 +26,8 @@ import (
 //	POST   /v1/admin/models/{name}   — broadcast hot-add
 //	DELETE /v1/admin/models/{name}   — broadcast hot-remove
 //	GET    /v1/fleet                 — replica health, ring membership
+//	GET    /v1/metrics               — router series + replica-labelled scrape
+//	GET    /v1/debug/traces          — merged per-stage traces, fleet-wide
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/models/{model}/infer", f.handleInfer)
@@ -38,7 +41,25 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/models/{name}", f.handleBroadcastModel)
 	mux.HandleFunc("DELETE /v1/admin/models/{name}", f.handleBroadcastModel)
 	mux.HandleFunc("GET /v1/fleet", f.handleFleet)
-	return mux
+	mux.HandleFunc("GET /v1/metrics", f.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/traces", f.handleTraces)
+	// The router originates the request id when the client sent none, so
+	// every hop — router log, replica trace, response header — shares one
+	// id; the per-route counter reads the matched pattern after dispatch.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(serve.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+			r.Header.Set(serve.RequestIDHeader, id)
+		}
+		w.Header().Set(serve.RequestIDHeader, id)
+		mux.ServeHTTP(w, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		f.met.requests.With(route).Inc()
+	})
 }
 
 // readBody buffers the request body so it can be replayed on failover.
@@ -58,6 +79,9 @@ func (f *Fleet) send(r *http.Request, base, path string, body []byte) (*http.Res
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
+	}
+	if id := r.Header.Get(serve.RequestIDHeader); id != "" {
+		req.Header.Set(serve.RequestIDHeader, id)
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
@@ -82,8 +106,12 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 // handleInfer routes a sync inference by its model's ring owner. Sync
 // inference is idempotent (pure read of the weight image), so a replica
 // that fails at the transport level is ejected and the request replays
-// against the next distinct owner; only when every candidate is down
-// does the client see 502.
+// against the next distinct owner — and a replica that sheds with 429
+// (its bounded queue is full) keeps its ring slot but the request also
+// moves on to the next owner, spreading the overload instead of bouncing
+// it back to the client. Only when every candidate is down does the
+// client see 502; when every candidate shed, the client gets the final
+// 429 with its Retry-After.
 func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 	model := r.PathValue("model")
 	body, err := readBody(r)
@@ -97,13 +125,36 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var lastErr error
-	for _, base := range owners {
+	var shedResp *http.Response
+	for i, base := range owners {
 		resp, err := f.send(r, base, r.URL.Path, body)
 		if err != nil {
 			lastErr = err
+			if i < len(owners)-1 {
+				f.met.failovers.Inc()
+				f.met.retries.Inc()
+			}
 			continue
 		}
+		if resp.StatusCode == http.StatusTooManyRequests && i < len(owners)-1 {
+			// Queue-full shed: hold the verdict in case everyone sheds,
+			// then try the next owner.
+			if shedResp != nil {
+				shedResp.Body.Close()
+			}
+			shedResp = resp
+			f.met.shedFailovers.Inc()
+			f.met.retries.Inc()
+			continue
+		}
+		if shedResp != nil {
+			shedResp.Body.Close()
+		}
 		relay(w, resp)
+		return
+	}
+	if shedResp != nil {
+		relay(w, shedResp)
 		return
 	}
 	http.Error(w, fmt.Sprintf("fleet: all candidate replicas failed: %v", lastErr),

@@ -24,6 +24,11 @@ package qinfer
 type engineScratch struct {
 	cols []int8
 	acc  []int32
+	// hook, when set, overrides the engine-wide fetch hook for the one
+	// Forward pass this scratch is checked out for (see ForwardWithHook).
+	// Cleared on check-in so a pooled instance never leaks its caller's
+	// hook into an unrelated pass.
+	hook FetchHook
 }
 
 // colsBuf returns an n-element patch buffer, growing only on high-water
@@ -52,7 +57,10 @@ func (e *Engine) getScratch() *engineScratch {
 	return new(engineScratch)
 }
 
-func (e *Engine) putScratch(sc *engineScratch) { e.scratch.Put(sc) }
+func (e *Engine) putScratch(sc *engineScratch) {
+	sc.hook = nil
+	e.scratch.Put(sc)
+}
 
 // im2col packs one image's receptive fields into the pixel-major patch
 // matrix: row p = (oy·outW+ox) holds the K = inC·k·k patch of output

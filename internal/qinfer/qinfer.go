@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"radar/internal/nn"
 	"radar/internal/quant"
@@ -106,14 +108,22 @@ type qconv struct {
 // a single weight — and the stage then holds the layer's read lock (if a
 // weight guard is attached) for the duration of the convolution.
 func (c *qconv) forward(x *QTensor, e *Engine, sc *engineScratch) *QTensor {
-	if e.hook != nil {
-		e.hook(c.qLayer)
+	hook := e.hook
+	if sc.hook != nil {
+		hook = sc.hook
+	}
+	if hook != nil {
+		hook(c.qLayer)
 	}
 	if e.guard != nil {
 		e.guard.RLockLayer(c.qLayer)
 		defer e.guard.RUnlockLayer(c.qLayer)
 	}
-	return c.compute(x, sc)
+	start := time.Now()
+	out := c.compute(x, sc)
+	e.stageNs.Add(time.Since(start).Nanoseconds())
+	e.stageCount.Add(1)
+	return out
 }
 
 // compute is the raw int8 convolution, free of any serving coordination:
@@ -264,6 +274,19 @@ type Engine struct {
 	// engineScratch. Safe for concurrent Forward calls — each checks out
 	// its own instance.
 	scratch sync.Pool
+
+	// stageCount/stageNs accumulate executed conv-stage count and wall time
+	// spent inside the int8 GEMM compute (hook and lock wait excluded), the
+	// per-stage telemetry behind radar_gemm_stage_seconds_total.
+	stageCount atomic.Int64
+	stageNs    atomic.Int64
+}
+
+// StageStats returns the cumulative number of executed conv stages and the
+// total nanoseconds spent in their int8 compute. Safe to call concurrently
+// with Forward; a metrics scrape reads it through counter funcs.
+func (e *Engine) StageStats() (stages, ns int64) {
+	return e.stageCount.Load(), e.stageNs.Load()
 }
 
 // FetchHook is called with the quantized-layer index (position in the
@@ -438,8 +461,18 @@ func (e *Engine) calibrate(net *nn.Sequential, calib *tensor.Tensor) {
 // Forward runs int8 inference on a float input batch (N, C, H, W) and
 // returns float logits (N, classes).
 func (e *Engine) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return e.ForwardWithHook(x, nil)
+}
+
+// ForwardWithHook runs Forward with a per-call fetch hook that overrides
+// the engine-wide SetFetchHook hook for this one pass (nil keeps the
+// engine-wide hook). Serving workers use it to attribute verified-fetch
+// time to the request being traced without installing per-request state on
+// the shared engine.
+func (e *Engine) ForwardWithHook(x *tensor.Tensor, hook FetchHook) *tensor.Tensor {
 	sc := e.getScratch()
 	defer e.putScratch(sc)
+	sc.hook = hook
 	q := QuantizeActivations(x, e.inScale)
 	q = e.stem.forward(q, e, sc)
 	if e.pool {

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"radar/internal/obs"
 	"radar/internal/tensor"
 )
 
@@ -21,8 +22,9 @@ func (s *Server) dispatch() {
 	var batch []*request
 	flush := func() {
 		if len(batch) > 0 {
-			s.met.batches.Add(1)
+			s.met.batches.Inc()
 			s.met.batched.Add(int64(len(batch)))
+			s.met.occupancy.Observe(float64(len(batch)))
 			s.batches <- batch
 			batch = nil
 		}
@@ -110,11 +112,16 @@ func (s *Server) worker() {
 // wasted work (a whole batch of cancellations skips the forward pass
 // entirely).
 func (s *Server) runBatch(batch []*request) {
+	start := time.Now() // batch dequeued: queue wait ends here
 	live := batch[:0]
+	traced := false
 	for _, r := range batch {
 		if r.ctx != nil && r.ctx.Err() != nil {
-			s.met.cancelled.Add(1)
+			s.met.cancelled.Inc()
 			continue
+		}
+		if r.id != "" {
+			traced = true
 		}
 		live = append(live, r)
 	}
@@ -131,13 +138,40 @@ func (s *Server) runBatch(batch []*request) {
 	for i, r := range batch {
 		copy(x.Data[i*vol:(i+1)*vol], r.x.Data)
 	}
-	out := s.eng.Forward(x)
+	assembled := time.Now()
+	// When any request in the batch is traced and verified fetch is on,
+	// run the forward with a per-call hook that attributes fetch-path scan
+	// time to this batch — verifyNs is local to this worker, so no
+	// cross-batch accounting races.
+	var out *tensor.Tensor
+	var verifyNs int64
+	if traced && s.cfg.VerifiedFetch {
+		out = s.eng.ForwardWithHook(x, func(li int) { verifyNs += s.ver.checkTimed(li) })
+	} else {
+		out = s.eng.Forward(x)
+	}
 	k := out.Shape[1]
 	now := time.Now()
+	verify := time.Duration(verifyNs)
+	forward := now.Sub(assembled) - verify
 	for i, r := range batch {
 		logits := append([]float32(nil), out.Data[i*k:(i+1)*k]...)
-		s.met.requests.Add(1)
+		s.met.requests.Inc()
 		s.met.observeLatency(now.Sub(r.enq))
+		if r.id != "" {
+			s.traces.Add(obs.Trace{
+				ID:      r.id,
+				Model:   s.name,
+				Start:   r.enq,
+				TotalMs: float64(now.Sub(r.enq)) / float64(time.Millisecond),
+				Stages: []obs.Stage{
+					{Name: "queue", Ms: float64(start.Sub(r.enq)) / float64(time.Millisecond)},
+					{Name: "batch", Ms: float64(assembled.Sub(start)) / float64(time.Millisecond)},
+					{Name: "verify", Ms: float64(verify) / float64(time.Millisecond)},
+					{Name: "forward", Ms: float64(forward) / float64(time.Millisecond)},
+				},
+			})
+		}
 		r.out <- Result{Class: out.Argmax(i*k, k), Logits: logits}
 	}
 }

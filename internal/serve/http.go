@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"radar/internal/obs"
 	"radar/internal/tensor"
 )
 
@@ -68,6 +69,22 @@ func (s *Server) decodeInferRequest(r *http.Request) ([]*tensor.Tensor, error) {
 	return out, nil
 }
 
+// RequestIDHeader carries the request id the router generates (or the
+// client supplies) through router → replica → batch queue → worker; the
+// replica echoes it on the response and keys the request's trace on it.
+const RequestIDHeader = "X-Request-Id"
+
+// requestID returns r's X-Request-Id, minting one when absent, and echoes
+// it on the response so the caller can correlate its trace.
+func requestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set(RequestIDHeader, id)
+	return id
+}
+
 // serveInfer is the sync-inference handler body behind
 // POST /v1/models/{model}/infer: submit everything first (so a
 // multi-input request fills batches), then collect in order, all under
@@ -79,10 +96,11 @@ func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	id := requestID(w, r)
 	ctx := r.Context()
 	chans := make([]<-chan Result, len(inputs))
 	for i, x := range inputs {
-		ch, err := s.submit(ctx, x)
+		ch, err := s.submit(ctx, x, id)
 		if err != nil {
 			httpError(w, err)
 			return

@@ -6,6 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
+
+	"radar/internal/obs"
 )
 
 // JobRef answers POST /v1/models/{name}/jobs: the accepted job's identity
@@ -56,10 +60,12 @@ type adminResponse struct {
 //	POST   /v1/admin/rekey           — rotate protection secrets live ({"model"})
 //	POST   /v1/admin/models/{name}   — hot-add a model ({"source"}; needs a provider)
 //	DELETE /v1/admin/models/{name}   — hot-remove a model (drains first)
+//	GET    /v1/metrics               — Prometheus text exposition, all models
+//	GET    /v1/debug/traces          — recent per-request stage traces (?n=K)
 //
 // The pre-v1 shims (POST /infer, GET /healthz, GET /metrics) were removed
 // after their one-release deprecation window; only the /v1 surface is
-// served.
+// served (metrics now live under the versioned path).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/models/{model}/infer", s.handleInferV1)
@@ -72,6 +78,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/rekey", s.handleRekey)
 	mux.HandleFunc("POST /v1/admin/models/{name}", s.handleAddModel)
 	mux.HandleFunc("DELETE /v1/admin/models/{name}", s.handleRemoveModel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
 	return mux
 }
 
@@ -128,7 +136,7 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	// context. Cancellation is explicit — DELETE /v1/jobs/{id} tears down
 	// the per-job context layer Submit installs on top of this one.
 	id, err := s.Submit(context.WithoutCancel(r.Context()),
-		Request{Model: hm.name, Input: inputs[0]})
+		Request{Model: hm.name, Input: inputs[0], RequestID: requestID(w, r)})
 	if err != nil {
 		httpError(w, err)
 		return
@@ -241,4 +249,48 @@ func (s *Service) handleRemoveModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	s.WriteMetrics(w)
+}
+
+// TracesResponse is the body of GET /v1/debug/traces: the retained traces
+// (newest first) with summary latency quantiles over them.
+type TracesResponse struct {
+	Count  int         `json:"count"`
+	P50Ms  float64     `json:"p50_ms"`
+	P99Ms  float64     `json:"p99_ms"`
+	Traces []obs.Trace `json:"traces"`
+}
+
+// NewTracesResponse summarizes a trace dump: nearest-rank p50/p99 over the
+// traces' total latencies. Exported because the fleet router reuses it
+// after merging the replicas' dumps.
+func NewTracesResponse(traces []obs.Trace) TracesResponse {
+	samples := make([]time.Duration, len(traces))
+	for i, t := range traces {
+		samples[i] = time.Duration(t.TotalMs * float64(time.Millisecond))
+	}
+	qs := quantiles(samples, 0.50, 0.99)
+	return TracesResponse{
+		Count:  len(traces),
+		P50Ms:  float64(qs[0]) / float64(time.Millisecond),
+		P99Ms:  float64(qs[1]) / float64(time.Millisecond),
+		Traces: traces,
+	}
+}
+
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			httpError(w, fmt.Errorf("bad n %q: want a positive integer", raw))
+			return
+		}
+		n = v
+	}
+	writeJSON(w, NewTracesResponse(s.Traces(n)))
 }

@@ -248,3 +248,11 @@ func (t *jobTable) stats() (int, int64) {
 	defer t.mu.Unlock()
 	return len(t.jobs), t.submitted
 }
+
+// cancelledCount returns the lifetime count of jobs cancelled before
+// completion (the radar_jobs_cancelled_total series).
+func (t *jobTable) cancelledCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cancelled
+}

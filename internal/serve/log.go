@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"radar/internal/obs"
+)
+
+// statusRecorder captures the status code a handler writes so the request
+// log can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// LogRequests wraps h with structured slog request logging: one line per
+// request with method, path, status, duration and the request id (minted
+// here when the client sent none, so the log line, the response header and
+// the trace all agree). Both radar-serve and radar-fleet mount it behind
+// their -log-requests flag; it is opt-in because a log line per request is
+// measurable overhead at benchmark rates.
+func LogRequests(h http.Handler, l *slog.Logger) http.Handler {
+	if l == nil {
+		l = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+			r.Header.Set(RequestIDHeader, id)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		l.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+		)
+	})
+}

@@ -1,70 +1,131 @@
 package serve
 
 import (
+	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"radar/internal/obs"
 )
 
-// latencySamples is the size of the end-to-end latency reservoir the
-// quantile snapshot is computed over (a ring of the most recent requests).
-const latencySamples = 4096
+// Histogram bucket layouts. Latency buckets run 0.5ms–2.5s (the tiny
+// models answer in single-digit ms; a fleet failover retry can stack a few
+// hundred); occupancy buckets cover the power-of-two batch sizes up to the
+// default MaxBatch and beyond.
+var (
+	latencyBuckets   = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+	occupancyBuckets = []float64{1, 2, 4, 8, 16, 32}
+)
 
-// metrics holds the server's live counters. All fields are updated with
-// atomics (or under the ring's own mutex), so the hot paths never share a
-// lock with the snapshot reader.
+// metrics holds one model runtime's live instruments, all children of the
+// service-wide obs.Registry under this model's `model` label. Counters and
+// histograms are pure atomics, so the inference hot path never shares a
+// lock with a scrape — the mutex'd latency reservoir this replaced is
+// gone.
 type metrics struct {
-	requests, batches, batched  atomic.Int64
-	cancelled                   atomic.Int64
-	scrubCycles                 atomic.Int64
-	scrubFlagged, scrubZeroed   atomic.Int64
-	verifyHits, verifyScans     atomic.Int64
-	verifyFlagged, verifyZeroed atomic.Int64
-	injections                  atomic.Int64
-	rekeys                      atomic.Int64
+	requests  *obs.Counter
+	cancelled *obs.Counter
+	batches   *obs.Counter
+	batched   *obs.Counter
 
-	mu  sync.Mutex
-	lat []time.Duration // ring buffer of recent request latencies
-	idx int
-	n   int
+	scrubCycles  *obs.Counter
+	scrubFlagged *obs.Counter
+	scrubZeroed  *obs.Counter
+
+	verifyHits    *obs.Counter
+	verifyScans   *obs.Counter
+	verifyFlagged *obs.Counter
+	verifyZeroed  *obs.Counter
+
+	injections *obs.Counter
+	rekeys     *obs.Counter
+
+	latency   *obs.Histogram // end-to-end seconds, enqueue to answer
+	occupancy *obs.Histogram // requests per executed batch
 }
 
-func newMetrics() *metrics {
-	return &metrics{lat: make([]time.Duration, latencySamples)}
+// newMetrics registers this model's children on reg. Registration is
+// idempotent at the family level, so every hosted model binds children of
+// the same families.
+func newMetrics(reg *obs.Registry, model string) *metrics {
+	return &metrics{
+		requests:      reg.Counter("radar_requests_total", "Inference requests answered.", "model").With(model),
+		cancelled:     reg.Counter("radar_requests_cancelled_total", "Requests dropped before their forward pass because the submitter's context was cancelled.", "model").With(model),
+		batches:       reg.Counter("radar_batches_total", "Batched forward passes executed.", "model").With(model),
+		batched:       reg.Counter("radar_batched_requests_total", "Requests carried by batched forward passes.", "model").With(model),
+		scrubCycles:   reg.Counter("radar_scrub_cycles_total", "Background scrub cycles completed.", "model").With(model),
+		scrubFlagged:  reg.Counter("radar_scrub_flagged_total", "Groups flagged by scrub cycles.", "model").With(model),
+		scrubZeroed:   reg.Counter("radar_scrub_zeroed_total", "Weights zeroed by scrub recovery.", "model").With(model),
+		verifyHits:    reg.Counter("radar_verify_hits_total", "Verified fetches answered by the epoch cache.", "model").With(model),
+		verifyScans:   reg.Counter("radar_verify_scans_total", "Verified fetches that rescanned the layer.", "model").With(model),
+		verifyFlagged: reg.Counter("radar_verify_flagged_total", "Groups flagged by fetch-path verification.", "model").With(model),
+		verifyZeroed:  reg.Counter("radar_verify_zeroed_total", "Weights zeroed by fetch-path recovery.", "model").With(model),
+		injections:    reg.Counter("radar_injections_total", "Attack injection rounds mounted on the live model.", "model").With(model),
+		rekeys:        reg.Counter("radar_rekeys_total", "Live rotations of the model's protection secrets.", "model").With(model),
+		latency:       reg.Histogram("radar_request_latency_seconds", "End-to-end request latency, enqueue to answer.", latencyBuckets, "model").With(model),
+		occupancy:     reg.Histogram("radar_batch_occupancy", "Requests coalesced per executed forward pass.", occupancyBuckets, "model").With(model),
+	}
 }
 
 // observeLatency records one request's enqueue-to-answer latency.
 func (m *metrics) observeLatency(d time.Duration) {
-	m.mu.Lock()
-	m.lat[m.idx] = d
-	m.idx = (m.idx + 1) % len(m.lat)
-	if m.n < len(m.lat) {
-		m.n++
-	}
-	m.mu.Unlock()
+	m.latency.Observe(d.Seconds())
 }
 
-// quantiles returns the requested latency quantiles (q in [0,1]) over the
-// reservoir, or zeros when no requests have completed.
-func (m *metrics) quantiles(qs ...float64) []time.Duration {
-	m.mu.Lock()
-	sorted := append([]time.Duration(nil), m.lat[:m.n]...)
-	m.mu.Unlock()
+// registerFuncs binds the scrape-time function children for this server:
+// the queue-depth gauge, the protector's core counters, the engine's GEMM
+// stage clock, and the verifier's fetch-scan clock. Called once from
+// newServerIn after the runtime's channels exist.
+func (s *Server) registerFuncs(reg *obs.Registry, model string) {
+	reg.Gauge("radar_queue_depth", "Requests waiting in the model's bounded batch queue.", "model").
+		Func(func() float64 { return float64(len(s.reqs)) }, model)
+	reg.Counter("radar_protector_scans_total", "Protection scans run (scrubber + verified fetch).", "model").
+		Func(func() float64 { return float64(s.prot.Stats().Scans) }, model)
+	reg.Counter("radar_scan_bytes_total", "Weight bytes covered by protection scans.", "model").
+		Func(func() float64 { return float64(s.prot.Stats().BytesScanned) }, model)
+	reg.Counter("radar_groups_flagged_total", "Signature mismatches across all scans.", "model").
+		Func(func() float64 { return float64(s.prot.Stats().GroupsFlagged) }, model)
+	reg.Counter("radar_groups_recovered_total", "Groups recovered (zeroed) after flagging.", "model").
+		Func(func() float64 { return float64(s.prot.Stats().GroupsRecovered) }, model)
+	reg.Counter("radar_weights_zeroed_total", "Individual weights zeroed during recovery.", "model").
+		Func(func() float64 { return float64(s.prot.Stats().WeightsZeroed) }, model)
+	reg.Counter("radar_gemm_stages_total", "Quantized conv stages executed.", "model").
+		Func(func() float64 { st, _ := s.eng.StageStats(); return float64(st) }, model)
+	reg.Counter("radar_gemm_stage_seconds_total", "Wall time inside int8 GEMM stage compute.", "model").
+		Func(func() float64 { _, ns := s.eng.StageStats(); return float64(ns) / 1e9 }, model)
+	reg.Counter("radar_verify_seconds_total", "Wall time spent in fetch-path verification scans.", "model").
+		Func(func() float64 { return float64(s.ver.scanNs.Load()) / 1e9 }, model)
+}
+
+// quantiles returns nearest-rank quantiles (q in [0,1]) over samples,
+// which need not be sorted; zeros when samples is empty. The rank is the
+// standard ceil(q·n) (1-based), so p99 over a small sample set is the
+// true 99th-percentile order statistic rather than one rank low — the old
+// int(q·(n-1)) truncation biased small-n tails toward the median.
+func quantiles(samples []time.Duration, qs ...float64) []time.Duration {
 	out := make([]time.Duration, len(qs))
-	if len(sorted) == 0 {
+	if len(samples) == 0 {
 		return out
 	}
+	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
 	for i, q := range qs {
-		k := int(q * float64(len(sorted)-1))
+		k := int(math.Ceil(q*float64(n))) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k > n-1 {
+			k = n - 1
+		}
 		out[i] = sorted[k]
 	}
 	return out
 }
 
 // Snapshot is a point-in-time export of the server's metrics, shaped for
-// JSON (the /metrics endpoint and the servescale benchmark artifact).
+// JSON (GET /v1/models and the servescale benchmark artifact). The same
+// figures are exposed in Prometheus form at GET /v1/metrics.
 type Snapshot struct {
 	// UptimeSeconds is the time since Start.
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -76,8 +137,9 @@ type Snapshot struct {
 	// Cancelled counts requests dropped before their forward pass because
 	// the submitter's context was cancelled while they waited in the queue.
 	Cancelled int64 `json:"cancelled"`
-	// P50Ms / P99Ms are end-to-end request latency quantiles over the most
-	// recent requests (enqueue to answer, including batching wait).
+	// P50Ms / P99Ms are end-to-end request latency quantiles (enqueue to
+	// answer, including batching wait), estimated from the latency
+	// histogram by interpolating inside the bucket holding the rank.
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
 	// ScrubCycles counts scrubber cycles; ScrubFlagged / ScrubZeroed what
@@ -112,23 +174,22 @@ type Snapshot struct {
 // Snapshot exports the current metrics. Safe to call at any time,
 // including while traffic and scrubbing are live.
 func (s *Server) Snapshot() Snapshot {
-	qs := s.met.quantiles(0.50, 0.99)
 	st := s.prot.Stats()
 	snap := Snapshot{
-		Requests:        s.met.requests.Load(),
-		Batches:         s.met.batches.Load(),
-		Cancelled:       s.met.cancelled.Load(),
-		P50Ms:           float64(qs[0]) / float64(time.Millisecond),
-		P99Ms:           float64(qs[1]) / float64(time.Millisecond),
-		ScrubCycles:     s.met.scrubCycles.Load(),
-		ScrubFlagged:    s.met.scrubFlagged.Load(),
-		ScrubZeroed:     s.met.scrubZeroed.Load(),
-		VerifyHits:      s.met.verifyHits.Load(),
-		VerifyScans:     s.met.verifyScans.Load(),
-		VerifyFlagged:   s.met.verifyFlagged.Load(),
-		VerifyZeroed:    s.met.verifyZeroed.Load(),
-		Injections:      s.met.injections.Load(),
-		Rekeys:          s.met.rekeys.Load(),
+		Requests:        s.met.requests.Value(),
+		Batches:         s.met.batches.Value(),
+		Cancelled:       s.met.cancelled.Value(),
+		P50Ms:           s.met.latency.Quantile(0.50) * 1e3,
+		P99Ms:           s.met.latency.Quantile(0.99) * 1e3,
+		ScrubCycles:     s.met.scrubCycles.Value(),
+		ScrubFlagged:    s.met.scrubFlagged.Value(),
+		ScrubZeroed:     s.met.scrubZeroed.Value(),
+		VerifyHits:      s.met.verifyHits.Value(),
+		VerifyScans:     s.met.verifyScans.Value(),
+		VerifyFlagged:   s.met.verifyFlagged.Value(),
+		VerifyZeroed:    s.met.verifyZeroed.Value(),
+		Injections:      s.met.injections.Value(),
+		Rekeys:          s.met.rekeys.Value(),
 		ProtectorScans:  st.Scans,
 		GroupsFlagged:   st.GroupsFlagged,
 		GroupsRecovered: st.GroupsRecovered,
@@ -142,7 +203,7 @@ func (s *Server) Snapshot() Snapshot {
 		}
 	}
 	if snap.Batches > 0 {
-		snap.AvgBatch = float64(s.met.batched.Load()) / float64(snap.Batches)
+		snap.AvgBatch = float64(s.met.batched.Value()) / float64(snap.Batches)
 	}
 	return snap
 }

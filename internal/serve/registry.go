@@ -203,7 +203,7 @@ func (hm *hostedModel) rekey() AdminReport {
 	lateFlagged, lateZeroed := hm.prot.DetectAndRecoverExclusive()
 	hm.prot.Rekey(cfg)
 	hm.srv.guard.UnlockAll()
-	hm.srv.met.rekeys.Add(1)
+	hm.srv.met.rekeys.Inc()
 	return AdminReport{
 		Model:   hm.name,
 		Flagged: len(flagged) + len(lateFlagged),

@@ -42,7 +42,7 @@ func (s *Server) Scrub(full bool) (flagged []core.GroupID, zeroed int) {
 			zeroed = s.prot.Recover(flagged)
 		}
 	}
-	s.met.scrubCycles.Add(1)
+	s.met.scrubCycles.Inc()
 	if len(flagged) > 0 {
 		s.met.scrubFlagged.Add(int64(len(flagged)))
 		s.met.scrubZeroed.Add(int64(zeroed))

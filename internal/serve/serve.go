@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"radar/internal/core"
+	"radar/internal/obs"
 	"radar/internal/qinfer"
 	"radar/internal/quant"
 	"radar/internal/tensor"
@@ -132,6 +133,7 @@ type Result struct {
 type request struct {
 	ctx context.Context // submitter's context; cancelled requests are skipped
 	x   *tensor.Tensor  // (C, H, W)
+	id  string          // X-Request-Id when traced; "" skips trace recording
 	enq time.Time
 	out chan Result
 }
@@ -154,13 +156,15 @@ var ErrQueueFull = errors.New("serve: request queue full")
 // removal or shutdown. Use Open/Service — Server has no public
 // constructor since the pre-v1 surface was retired.
 type Server struct {
-	cfg   Config
-	eng   *qinfer.Engine
-	prot  *core.Protector
-	model *quant.Model
-	guard *core.LayerGuard
-	ver   *verifier
-	met   *metrics
+	cfg    Config
+	name   string // hosted-model name, the `model` label on every series
+	eng    *qinfer.Engine
+	prot   *core.Protector
+	model  *quant.Model
+	guard  *core.LayerGuard
+	ver    *verifier
+	met    *metrics
+	traces *obs.TraceRing // shared service-wide ring; never nil
 
 	reqs    chan *request
 	batches chan []*request
@@ -178,21 +182,36 @@ type Server struct {
 	start     time.Time
 }
 
-// newServer wires a server around an engine and the protector guarding
-// the engine's weight image. The engine becomes owned by the server: the
-// fetch hook and weight guard are installed here, so it must not be used
-// for unrelated inference afterwards. The protector must protect the same
-// quant.Model the engine was compiled from.
+// newServer wires a standalone server around an engine and protector with
+// a private metrics registry and trace ring — the direct-construction path
+// package tests use. Service-hosted models go through newServerIn so every
+// model's series share the service registry.
 func newServer(eng *qinfer.Engine, prot *core.Protector, cfg Config) *Server {
+	return newServerIn(eng, prot, cfg, obs.NewRegistry(), "default", obs.NewTraceRing(defaultTraceRingSize))
+}
+
+// defaultTraceRingSize bounds the per-service trace ring: enough to hold a
+// burst of routed requests for /v1/debug/traces without unbounded growth.
+const defaultTraceRingSize = 256
+
+// newServerIn wires a server around an engine and the protector guarding
+// the engine's weight image, binding its metrics to reg under the `model`
+// label name and its request traces to traces. The engine becomes owned by
+// the server: the fetch hook and weight guard are installed here, so it
+// must not be used for unrelated inference afterwards. The protector must
+// protect the same quant.Model the engine was compiled from.
+func newServerIn(eng *qinfer.Engine, prot *core.Protector, cfg Config, reg *obs.Registry, name string, traces *obs.TraceRing) *Server {
 	cfg.fillDefaults()
 	m := prot.Model
 	s := &Server{
 		cfg:       cfg,
+		name:      name,
 		eng:       eng,
 		prot:      prot,
 		model:     m,
 		guard:     core.NewLayerGuard(len(m.Layers)),
-		met:       newMetrics(),
+		met:       newMetrics(reg, name),
+		traces:    traces,
 		reqs:      make(chan *request, cfg.QueueDepth),
 		batches:   make(chan []*request, cfg.Workers),
 		scrubStop: make(chan struct{}),
@@ -203,6 +222,7 @@ func newServer(eng *qinfer.Engine, prot *core.Protector, cfg Config) *Server {
 	if cfg.VerifiedFetch {
 		eng.SetFetchHook(s.ver.check)
 	}
+	s.registerFuncs(reg, name)
 	// Every write through the model API bumps the written layer's epoch so
 	// the verified-fetch cache knows to re-verify it.
 	s.unobserve = m.Observe(s.ver.bump)
@@ -258,7 +278,13 @@ func (s *Server) Stop() {
 // without being computed). Safe for any number of concurrent callers;
 // concurrent submissions are what the batcher coalesces.
 func (s *Server) InferContext(ctx context.Context, x *tensor.Tensor) (Result, error) {
-	ch, err := s.submit(ctx, x)
+	return s.inferContext(ctx, x, "")
+}
+
+// inferContext is InferContext carrying a request id for tracing; the
+// empty id skips trace recording (the Go-API hot path).
+func (s *Server) inferContext(ctx context.Context, x *tensor.Tensor, id string) (Result, error) {
+	ch, err := s.submit(ctx, x, id)
 	if err != nil {
 		return Result{}, err
 	}
@@ -271,7 +297,7 @@ func (s *Server) InferContext(ctx context.Context, x *tensor.Tensor) (Result, er
 }
 
 // newRequest validates one input and wraps it for the queue.
-func (s *Server) newRequest(ctx context.Context, x *tensor.Tensor) (*request, error) {
+func (s *Server) newRequest(ctx context.Context, x *tensor.Tensor, id string) (*request, error) {
 	shape := x.Shape
 	if len(shape) == 4 && shape[0] == 1 {
 		shape = shape[1:]
@@ -284,7 +310,7 @@ func (s *Server) newRequest(ctx context.Context, x *tensor.Tensor) (*request, er
 			return nil, fmt.Errorf("serve: input shape %v, want %v", shape, want)
 		}
 	}
-	return &request{ctx: ctx, x: x, enq: time.Now(), out: make(chan Result, 1)}, nil
+	return &request{ctx: ctx, x: x, id: id, enq: time.Now(), out: make(chan Result, 1)}, nil
 }
 
 // submit validates and enqueues one input, returning the channel its
@@ -292,8 +318,8 @@ func (s *Server) newRequest(ctx context.Context, x *tensor.Tensor) (*request, er
 // when ctx is done. Used by InferContext and by the HTTP front-ends
 // (which submit a whole JSON body before collecting, so multi-input
 // requests batch naturally).
-func (s *Server) submit(ctx context.Context, x *tensor.Tensor) (<-chan Result, error) {
-	r, err := s.newRequest(ctx, x)
+func (s *Server) submit(ctx context.Context, x *tensor.Tensor, id string) (<-chan Result, error) {
+	r, err := s.newRequest(ctx, x, id)
 	if err != nil {
 		return nil, err
 	}
@@ -312,8 +338,8 @@ func (s *Server) submit(ctx context.Context, x *tensor.Tensor) (<-chan Result, e
 
 // trySubmit is the non-blocking submit the async job path uses: a full
 // queue returns ErrQueueFull immediately instead of parking the caller.
-func (s *Server) trySubmit(ctx context.Context, x *tensor.Tensor) (<-chan Result, error) {
-	r, err := s.newRequest(ctx, x)
+func (s *Server) trySubmit(ctx context.Context, x *tensor.Tensor, id string) (<-chan Result, error) {
+	r, err := s.newRequest(ctx, x, id)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +365,7 @@ func (s *Server) Inject(f func(m *quant.Model)) {
 	s.guard.LockAll()
 	f(s.model)
 	s.guard.UnlockAll()
-	s.met.injections.Add(1)
+	s.met.injections.Inc()
 }
 
 // Protector exposes the protector (e.g. for stats).

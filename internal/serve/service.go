@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
 	"radar/internal/core"
+	"radar/internal/obs"
 	"radar/internal/qinfer"
 	"radar/internal/quant"
 	"radar/internal/tensor"
@@ -20,6 +22,10 @@ type Request struct {
 	Model string
 	// Input is the (C, H, W) — or (1, C, H, W) — image.
 	Input *tensor.Tensor
+	// RequestID, when set, traces the request: per-stage span timings are
+	// recorded into the service trace ring under this id (the X-Request-Id
+	// of HTTP-originated requests). Empty skips tracing.
+	RequestID string
 }
 
 // ServiceOption configures a Service under construction; see Open.
@@ -177,6 +183,8 @@ type Service struct {
 	reg      *Registry
 	jobs     *jobTable
 	provider ModelProvider
+	obs      *obs.Registry  // every hosted model's metric families
+	traces   *obs.TraceRing // completed request traces, service-wide
 	closed   atomic.Bool
 }
 
@@ -194,13 +202,15 @@ func Open(opts ...ServiceOption) (*Service, error) {
 	if len(sc.models) == 0 {
 		return nil, errors.New("serve: Open needs at least one WithModel")
 	}
+	mreg := obs.NewRegistry()
+	traces := obs.NewTraceRing(defaultTraceRingSize)
 	reg := &Registry{byName: make(map[string]*hostedModel, len(sc.models))}
 	for _, ms := range sc.models {
 		hm := &hostedModel{
 			name: ms.name,
 			eng:  ms.eng,
 			prot: ms.prot,
-			srv:  newServer(ms.eng, ms.prot, ms.cfg),
+			srv:  newServerIn(ms.eng, ms.prot, ms.cfg, mreg, ms.name, traces),
 		}
 		if err := reg.add(hm); err != nil {
 			return nil, err
@@ -209,7 +219,14 @@ func Open(opts ...ServiceOption) (*Service, error) {
 	for _, hm := range reg.snapshot() {
 		hm.srv.Start()
 	}
-	return &Service{reg: reg, jobs: newJobTable(sc.jobCap, sc.jobTTL), provider: sc.provider}, nil
+	jobs := newJobTable(sc.jobCap, sc.jobTTL)
+	mreg.Gauge("radar_jobs_active", "Async jobs currently held by the bounded job table.").
+		Func(func() float64 { active, _ := jobs.stats(); return float64(active) })
+	mreg.Counter("radar_jobs_submitted_total", "Async jobs accepted over the service lifetime.").
+		Func(func() float64 { _, submitted := jobs.stats(); return float64(submitted) })
+	mreg.Counter("radar_jobs_cancelled_total", "Async jobs cancelled before completion.").
+		Func(func() float64 { return float64(jobs.cancelledCount()) })
+	return &Service{reg: reg, jobs: jobs, provider: sc.provider, obs: mreg, traces: traces}, nil
 }
 
 // Close gracefully stops every hosted model: new submissions fail with
@@ -244,7 +261,7 @@ func (s *Service) AddModel(name string, eng *qinfer.Engine, prot *core.Protector
 	for _, o := range opts {
 		o(&cfg)
 	}
-	hm := &hostedModel{name: name, eng: eng, prot: prot, srv: newServer(eng, prot, cfg)}
+	hm := &hostedModel{name: name, eng: eng, prot: prot, srv: newServerIn(eng, prot, cfg, s.obs, name, s.traces)}
 	hm.srv.Start()
 	if err := s.reg.add(hm); err != nil {
 		hm.srv.Stop() // name collision: tear the fresh runtime back down
@@ -267,6 +284,9 @@ func (s *Service) RemoveModel(name string) error {
 		return err
 	}
 	hm.srv.Stop()
+	// Drop the removed model's series so a scrape no longer reports it; a
+	// later AddModel under the same name re-binds fresh children.
+	s.obs.Prune("model", name)
 	return nil
 }
 
@@ -278,7 +298,7 @@ func (s *Service) Infer(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return hm.srv.InferContext(ctx, req.Input)
+	return hm.srv.inferContext(ctx, req.Input, req.RequestID)
 }
 
 // Submit enqueues one request as an async job and returns immediately
@@ -303,7 +323,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (JobID, error) {
 		jcancel()
 		return "", err
 	}
-	ch, err := hm.srv.trySubmit(jctx, req.Input)
+	ch, err := hm.srv.trySubmit(jctx, req.Input, req.RequestID)
 	if err != nil {
 		s.jobs.abort(j.id)
 		jcancel()
@@ -423,4 +443,25 @@ func (s *Service) Protector(model string) (*core.Protector, error) {
 		return nil, err
 	}
 	return hm.prot, nil
+}
+
+// WriteMetrics writes every hosted model's series (plus the service-wide
+// job-table figures) in the Prometheus text exposition format — the body
+// of GET /v1/metrics. Safe under full traffic: instruments are atomics and
+// the exposition only read-locks family bookkeeping.
+func (s *Service) WriteMetrics(w io.Writer) (int64, error) {
+	return s.obs.WriteTo(w)
+}
+
+// MetricNames returns every registered metric family name, in
+// registration order — what the naming-lint test checks.
+func (s *Service) MetricNames() []string {
+	return s.obs.Names()
+}
+
+// Traces returns up to n completed request traces, newest first (n <= 0:
+// all retained). Only requests carrying a RequestID (every HTTP request;
+// Go-API calls that set Request.RequestID) are traced.
+func (s *Service) Traces(n int) []obs.Trace {
+	return s.traces.Last(n)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"radar/internal/core"
 )
@@ -23,10 +24,11 @@ import (
 // fetch — the cache errs only toward re-scanning, never toward trusting a
 // written layer.
 type verifier struct {
-	prot  *core.Protector
-	met   *metrics
-	cur   []atomic.Uint64 // write epoch per layer
-	clean []atomic.Uint64 // 1 + epoch last verified clean; 0 = never
+	prot   *core.Protector
+	met    *metrics
+	scanNs atomic.Int64    // cumulative wall time inside fetch-path scans
+	cur    []atomic.Uint64 // write epoch per layer
+	clean  []atomic.Uint64 // 1 + epoch last verified clean; 0 = never
 }
 
 func newVerifier(prot *core.Protector, met *metrics, layers int) *verifier {
@@ -47,17 +49,27 @@ func (v *verifier) bump(li int) {
 
 // check is the engine's FetchHook: it runs immediately before layer li's
 // conv stage reads its weights.
-func (v *verifier) check(li int) {
+func (v *verifier) check(li int) { v.checkTimed(li) }
+
+// checkTimed is check returning the nanoseconds the fetch spent scanning
+// (zero on an epoch-cache hit). Workers use it to attribute verify time to
+// the request trace without cross-request bookkeeping — the returned span
+// belongs entirely to the calling forward pass.
+func (v *verifier) checkTimed(li int) int64 {
 	e := v.cur[li].Load()
 	if v.clean[li].Load() == e+1 {
-		v.met.verifyHits.Add(1)
-		return
+		v.met.verifyHits.Inc()
+		return 0
 	}
-	v.met.verifyScans.Add(1)
+	v.met.verifyScans.Inc()
+	start := time.Now()
 	flagged, zeroed := v.prot.VerifyAndRecoverLayer(li)
+	ns := time.Since(start).Nanoseconds()
+	v.scanNs.Add(ns)
 	if len(flagged) > 0 {
 		v.met.verifyFlagged.Add(int64(len(flagged)))
 		v.met.verifyZeroed.Add(int64(zeroed))
 	}
 	v.clean[li].Store(e + 1)
+	return ns
 }

@@ -123,7 +123,30 @@ live=$(echo "$rekey" | grep -c '"status": 200') || true
 curl -fs -X POST -d "$payload" "http://$FLEET_ADDR/v1/models/a/infer" | grep -q '"class"' \
     || { echo "post-rekey routed infer failed"; exit 1; }
 
+# One scrape sees the whole fleet: the router's own series plus every
+# surviving replica's exposition re-emitted under a replica="host" label.
+metrics=$(curl -fs "http://$FLEET_ADDR/v1/metrics")
+echo "$metrics" | grep -q '^radar_fleet_replica_up{replica="' \
+    || { echo "router metrics missing replica-up gauges"; exit 1; }
+echo "$metrics" | grep -q '^radar_fleet_requests_total{route="' \
+    || { echo "router metrics missing per-route counters"; exit 1; }
+echo "$metrics" | grep -Eq '^radar_requests_total\{replica="[^"]+",model="a"\} [1-9]' \
+    || { echo "no replica-labelled request counter for model a"; echo "$metrics" | grep radar_requests_total; exit 1; }
+echo "$metrics" | grep -Eq '^radar_scrub_cycles_total\{replica="[^"]+",model="a"\} [1-9]' \
+    || { echo "no replica-labelled scrub counter"; exit 1; }
+echo "$metrics" | grep -q '^radar_request_latency_seconds_bucket{replica="' \
+    || { echo "no replica-labelled latency histogram"; exit 1; }
+
+# Fleet-wide stage traces: the router merges per-replica traces, each
+# carrying its queue / batch / verify / forward split.
+traces=$(curl -fs "http://$FLEET_ADDR/v1/debug/traces?n=5")
+for stage in queue batch verify forward; do
+    echo "$traces" | grep -q "\"name\": \"$stage\"" \
+        || { echo "merged traces missing stage $stage"; echo "$traces"; exit 1; }
+done
+echo "$traces" | grep -q '"replica": "' || { echo "merged traces lack replica tags"; exit 1; }
+
 for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
 trap - EXIT
 rm -rf "$LOGDIR"
-echo "fleet smoke OK (3 replicas: routing + sticky jobs + broadcast add/remove + replica kill + rolling rekey)"
+echo "fleet smoke OK (3 replicas: routing + sticky jobs + broadcast add/remove + replica kill + rolling rekey + aggregated metrics/traces)"

@@ -105,7 +105,30 @@ curl -fs "http://$ADDR/v1/models/a" | grep -q '"requests": 2' \
 curl -fs "http://$ADDR/v1/models/b" | grep -q '"requests": ' \
     || { echo "model b metrics missing"; curl -fs "http://$ADDR/v1/models/b"; exit 1; }
 
+# Prometheus exposition: the request counter matches the per-model
+# accounting, the scrubber has cycled (50ms interval), and the latency
+# histogram carries every answered request.
+ct=$(curl -fs -o /dev/null -w '%{content_type}' "http://$ADDR/v1/metrics")
+echo "$ct" | grep -q 'text/plain' || { echo "/v1/metrics content type: $ct"; exit 1; }
+metrics=$(curl -fs "http://$ADDR/v1/metrics")
+echo "$metrics" | grep -q '^radar_requests_total{model="a"} 2$' \
+    || { echo "radar_requests_total for model a off"; echo "$metrics" | grep radar_requests_total; exit 1; }
+scrubs=$(echo "$metrics" | sed -n 's/^radar_scrub_cycles_total{model="a"} //p')
+[ -n "$scrubs" ] && [ "$scrubs" -gt 0 ] || { echo "radar_scrub_cycles_total not advancing: '$scrubs'"; exit 1; }
+echo "$metrics" | grep -q '^radar_request_latency_seconds_bucket{model="a",le="+Inf"} 2$' \
+    || { echo "latency histogram missing model a samples"; exit 1; }
+echo "$metrics" | grep -q '^radar_queue_depth{model="a"}' \
+    || { echo "queue depth gauge missing"; exit 1; }
+
+# Per-request stage traces: every HTTP infer left a trace with its queue /
+# batch / verify / forward split.
+traces=$(curl -fs "http://$ADDR/v1/debug/traces?n=8")
+for stage in queue batch verify forward; do
+    echo "$traces" | grep -q "\"name\": \"$stage\"" \
+        || { echo "traces missing stage $stage"; echo "$traces"; exit 1; }
+done
+
 kill -TERM "$PID"
 wait "$PID" 2>/dev/null || true
 trap - EXIT
-echo "serve smoke OK (2 models, sync + async + cancel + hot add/remove + admin rekey/scrub, shims gone)"
+echo "serve smoke OK (2 models, sync + async + cancel + hot add/remove + admin rekey/scrub + metrics/traces, shims gone)"
