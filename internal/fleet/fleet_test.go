@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -497,5 +498,86 @@ func TestFleetConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Replicas: []string{"http://a:1", "http://a:1"}}); err == nil {
 		t.Fatal("duplicate replicas accepted")
+	}
+}
+
+// TestFleetClientCancelDoesNotEject: a client that hangs up mid-infer
+// surfaces as a context error on the proxied request. That says nothing
+// about replica health, so the owner must keep its ring slot — ejecting
+// it (and then failing the remaining owners with the same dead context)
+// would briefly empty the ring and 503 all other traffic.
+func TestFleetClientCancelDoesNotEject(t *testing.T) {
+	f, _ := newTestFleet(t, 3, "m0")
+	h := f.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/models/m0/infer",
+		strings.NewReader(`{"input":[1]}`)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	if got := len(f.ring.Members()); got != 3 {
+		t.Fatalf("ring has %d members after client-canceled infer, want 3", got)
+	}
+	// The fleet still serves normally.
+	rec := httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/v1/models/m0/infer", strings.NewReader(`{"input":[1]}`))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer after canceled request → %d, want 200", rec.Code)
+	}
+}
+
+// TestFleetCanceledPollKeepsJobPin: a poll the client abandons must not
+// drop the sticky job pin — the job is still alive on its replica, and a
+// later poll has to reach it.
+func TestFleetCanceledPollKeepsJobPin(t *testing.T) {
+	f, _ := newTestFleet(t, 3, "m0")
+	h := f.Handler()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/models/m0/jobs", strings.NewReader(`{"input":[1]}`))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit → %d", rec.Code)
+	}
+	var ref serve.JobRef
+	if err := json.Unmarshal(rec.Body.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.ServeHTTP(httptest.NewRecorder(),
+		httptest.NewRequest("GET", "/v1/jobs/"+string(ref.ID), nil).WithContext(ctx))
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/"+string(ref.ID), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("poll after abandoned poll → %d, want 200 (sticky pin dropped)", rec.Code)
+	}
+}
+
+// TestFleetModelsFanoutFailure: when the ring has members but none of
+// them answers the listing fan-out, the client gets 502 — not a 200 with
+// an empty model list that is indistinguishable from an empty fleet.
+func TestFleetModelsFanoutFailure(t *testing.T) {
+	stub := newStubReplica("r0", "m0")
+	t.Cleanup(stub.ts.Close)
+	// No Start(): the prober must not run, so the replica stays in-ring
+	// and the 502 is attributable to the fan-out alone.
+	f, err := New(Config{Replicas: []string{stub.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub.broken.Store(true)
+
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/models", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("models with all fan-out failed → %d, want 502", rec.Code)
 	}
 }

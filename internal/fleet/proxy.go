@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -68,9 +70,22 @@ func readBody(r *http.Request) ([]byte, error) {
 	return io.ReadAll(r.Body)
 }
 
-// send replays one buffered request against a replica. A transport error
-// ejects the replica immediately and is returned for the caller's
-// failover decision; any HTTP response — success or error status — is a
+// clientGone reports whether a client.Do failure was caused by the
+// inbound request's own context — the client hung up or timed out — not
+// by the replica. The proxied request runs under r.Context(), so such
+// failures say nothing about replica health: they must not eject it, and
+// replaying against another owner would fail with the same dead context.
+func clientGone(r *http.Request, err error) bool {
+	return r.Context().Err() != nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// send replays one buffered request against a replica. A genuine
+// transport error (dial refused, connection reset) ejects the replica
+// immediately and is returned for the caller's failover decision; a
+// failure the client itself caused (see clientGone) leaves the replica's
+// health untouched. Any HTTP response — success or error status — is a
 // backend verdict and is returned as-is.
 func (f *Fleet) send(r *http.Request, base, path string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+path, bytes.NewReader(body))
@@ -85,7 +100,9 @@ func (f *Fleet) send(r *http.Request, base, path string, body []byte) (*http.Res
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
-		f.noteTransportFailure(base, err)
+		if !clientGone(r, err) {
+			f.noteTransportFailure(base, err)
+		}
 		return nil, err
 	}
 	return resp, nil
@@ -129,6 +146,14 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, base := range owners {
 		resp, err := f.send(r, base, r.URL.Path, body)
 		if err != nil {
+			if clientGone(r, err) {
+				// Nobody is reading the answer, and the remaining owners
+				// would fail with the same dead context.
+				if shedResp != nil {
+					shedResp.Body.Close()
+				}
+				return
+			}
 			lastErr = err
 			if i < len(owners)-1 {
 				f.met.failovers.Inc()
@@ -217,8 +242,13 @@ func (f *Fleet) handleJob(w http.ResponseWriter, r *http.Request) {
 	base := v.(string)
 	resp, err := f.send(r, base, r.URL.Path, nil)
 	if err != nil {
-		// The minting replica is gone and the job with it.
-		f.jobs.Delete(id)
+		// Drop the pin only when the replica itself failed — it is gone
+		// and the job with it. A poll the client abandoned says nothing
+		// about the job, which is still alive on the replica and must
+		// stay reachable for the next poll.
+		if !clientGone(r, err) {
+			f.jobs.Delete(id)
+		}
 		http.Error(w, fmt.Sprintf("fleet: replica %s lost with job %s: %v", base, id, err),
 			http.StatusBadGateway)
 		return
@@ -247,15 +277,26 @@ type ModelsResponse struct {
 // handleModels merges the listing across in-ring replicas. Each model
 // appears once, described by its ring owner (the replica whose metrics
 // actually reflect the traffic the fleet routed); replicas that fail the
-// fan-out are skipped — the prober will eject them.
+// fan-out are skipped — the prober will eject them. When members exist
+// but none answered, the client gets 502, not a 200 that would be
+// indistinguishable from a genuinely empty fleet.
 func (f *Fleet) handleModels(w http.ResponseWriter, r *http.Request) {
+	members := f.ring.Members()
+	if len(members) == 0 {
+		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
 	var (
-		merged ModelsResponse
-		seen   = make(map[string]int) // model name → index in merged.Models
+		merged   ModelsResponse
+		seen     = make(map[string]int) // model name → index in merged.Models
+		answered int
 	)
-	for _, base := range f.ring.Members() {
+	for _, base := range members {
 		resp, err := f.send(r, base, "/v1/models", nil)
 		if err != nil {
+			if clientGone(r, err) {
+				return
+			}
 			continue
 		}
 		var one serve.ModelsResponse
@@ -264,6 +305,7 @@ func (f *Fleet) handleModels(w http.ResponseWriter, r *http.Request) {
 		if err != nil || resp.StatusCode != http.StatusOK {
 			continue
 		}
+		answered++
 		merged.Jobs.Active += one.Jobs.Active
 		merged.Jobs.Submitted += one.Jobs.Submitted
 		merged.Jobs.Capacity += one.Jobs.Capacity
@@ -280,8 +322,9 @@ func (f *Fleet) handleModels(w http.ResponseWriter, r *http.Request) {
 			merged.Models = append(merged.Models, entry)
 		}
 	}
-	if len(merged.Models) == 0 && len(f.ring.Members()) == 0 {
-		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
+	if answered == 0 {
+		http.Error(w, "fleet: no in-ring replica answered the listing fan-out",
+			http.StatusBadGateway)
 		return
 	}
 	writeJSON(w, http.StatusOK, merged)
@@ -300,6 +343,9 @@ func (f *Fleet) handleModel(w http.ResponseWriter, r *http.Request) {
 	for _, base := range owners {
 		resp, err := f.send(r, base, r.URL.Path, nil)
 		if err != nil {
+			if clientGone(r, err) {
+				return
+			}
 			lastErr = err
 			continue
 		}

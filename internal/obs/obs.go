@@ -201,6 +201,22 @@ func (r *Registry) register(name, help string, typ metricType, labels []string, 
 				panic("obs: conflicting label names on metric " + name)
 			}
 		}
+		if typ == typeHistogram {
+			// A silently returned family with different buckets would put
+			// observations in unexpected buckets — same one-name-one-meaning
+			// rule as type and label names. Compare sorted, matching how
+			// the family stores them.
+			b := append([]float64(nil), buckets...)
+			sort.Float64s(b)
+			if len(b) != len(f.buckets) {
+				panic("obs: conflicting buckets on metric " + name)
+			}
+			for i := range b {
+				if b[i] != f.buckets[i] {
+					panic("obs: conflicting buckets on metric " + name)
+				}
+			}
+		}
 		return f
 	}
 	f := &family{

@@ -185,3 +185,24 @@ func TestNewRequestID(t *testing.T) {
 		t.Errorf("request ids not unique 16-hex: %q %q", a, b)
 	}
 }
+
+// TestConflictingBucketsPanic: re-registering a histogram with different
+// buckets must fail loudly, matching the conflicting-metadata behavior
+// for type and label names — a silently shared family would put
+// observations in unexpected buckets.
+func TestConflictingBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("radar_y_seconds", "y", []float64{0.1, 1, 10})
+	// The same bounds in any order share the family (buckets are stored
+	// sorted).
+	b := r.Histogram("radar_y_seconds", "y", []float64{10, 0.1, 1})
+	if a.fam != b.fam {
+		t.Errorf("identical re-registration did not share the family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("conflicting histogram buckets did not panic")
+		}
+	}()
+	r.Histogram("radar_y_seconds", "y", []float64{0.5, 5})
+}

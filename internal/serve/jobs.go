@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -88,13 +90,26 @@ type jobTable struct {
 func newJobTable(capacity int, ttl time.Duration) *jobTable {
 	// Job IDs carry a per-instance tag so IDs minted by different replicas
 	// of the same deployment never collide — a fleet router keys its
-	// sticky job→replica map on the raw ID.
+	// sticky job→replica map on the raw ID. The tag is 64 crypto-random
+	// bits: seq counters all start at 1, so a tag collision between two
+	// replicas would make their IDs collide systematically, and the ID is
+	// opaque to clients so the extra width costs nothing.
 	return &jobTable{
 		cap:      capacity,
 		ttl:      ttl,
-		instance: fmt.Sprintf("%04x", rand.Uint32()&0xffff),
+		instance: newInstanceTag(),
 		jobs:     make(map[JobID]*job),
 	}
+}
+
+// newInstanceTag draws the 16-hex-digit per-table tag from crypto/rand,
+// falling back to math/rand only if the entropy source is unreadable.
+func newInstanceTag() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", rand.Uint64())
+	}
+	return fmt.Sprintf("%016x", binary.BigEndian.Uint64(b[:]))
 }
 
 // create reserves a slot for a new pending job, reaping expired finished

@@ -243,7 +243,11 @@ func TestJobIDsCarryInstanceTag(t *testing.T) {
 		t.Fatalf("Submit: %v", err)
 	}
 	want := "job-" + svc.jobs.instance + "-"
-	if len(id) != len("job-xxxx-00000000") || string(id[:len(want)]) != want {
+	if len(svc.jobs.instance) != 16 {
+		t.Fatalf("instance tag %q is %d hex digits, want 16 (64 bits)",
+			svc.jobs.instance, len(svc.jobs.instance))
+	}
+	if len(id) != len("job-xxxxxxxxxxxxxxxx-00000000") || string(id[:len(want)]) != want {
 		t.Fatalf("job ID %q does not carry instance tag %q", id, svc.jobs.instance)
 	}
 }
