@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-artifacts bench-gate bench-compare serve-smoke fleet-smoke lint fmt
+.PHONY: build test race bench bench-smoke bench-artifacts bench-gate bench-compare serve-smoke fleet-smoke chaos-smoke lint fmt
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,10 @@ test:
 # Race-detect the concurrent subsystems: the parallel scan engine, the
 # serving stack (batching + scrubber + verified fetch under live flips),
 # the inference engine's pooled conv scratch, the lock-free metrics
-# registry under concurrent scrapes, and the fleet router, plus the
-# differential kernel property/fuzz seeds.
+# registry under concurrent scrapes, the fleet router, and the chaos
+# proxy, plus the differential kernel property/fuzz seeds.
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/... ./internal/obs/... ./internal/fleet/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/... ./internal/obs/... ./internal/fleet/... ./internal/chaos/...
 
 # Full benchmark sweep (slow; trains zoo models on first run).
 bench:
@@ -65,6 +65,16 @@ fleet-smoke:
 	$(GO) build -o radar-fleet ./cmd/radar-fleet
 	./scripts/fleet_smoke.sh ./radar-serve ./radar-fleet
 	rm -f radar-serve radar-fleet
+
+# Boot the fleet with a fault-injecting radar-chaos proxy in front of
+# every replica: a reconciliation drill (eject → fleet-wide hot-add →
+# repair on readmission) and a gray-failure storm at ≥99% client success.
+chaos-smoke:
+	$(GO) build -o radar-serve ./cmd/radar-serve
+	$(GO) build -o radar-fleet ./cmd/radar-fleet
+	$(GO) build -o radar-chaos ./cmd/radar-chaos
+	./scripts/chaos_smoke.sh ./radar-serve ./radar-fleet ./radar-chaos
+	rm -f radar-serve radar-fleet radar-chaos
 
 lint:
 	$(GO) vet ./...

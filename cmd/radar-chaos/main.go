@@ -1,0 +1,95 @@
+// Command radar-chaos is a fault-injecting reverse proxy for chaos
+// testing the fleet: it sits between radar-fleet and one radar-serve
+// replica and injects gray failures — hangs, TCP resets, blackholes,
+// 5xx bursts, added latency, trickled bodies — on a deterministic
+// seeded schedule.
+//
+// Usage:
+//
+//	radar-chaos -target http://127.0.0.1:8080 [-addr :8580] [-seed 1]
+//	            [-p-delay 0] [-p-hang 0] [-p-reset 0] [-p-blackhole 0]
+//	            [-p-err5xx 0] [-p-slowbody 0]
+//	            [-delay-for 100ms] [-hang-for 0] [-slowbody-pause 20ms]
+//
+// All probabilities default to 0 — a freshly started radar-chaos is a
+// pass-through proxy. Swap the fault mix at runtime:
+//
+//	curl -XPOST localhost:8580/chaos/config -d '{"hang":0.2,"hang_for":2000000000}'
+//	curl localhost:8580/chaos/stats
+//
+// The /chaos/* control plane is answered locally and never faulted.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"radar/internal/chaos"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8580", "HTTP listen address")
+		target = flag.String("target", "", "backend base URL to proxy to (required)")
+		seed   = flag.Int64("seed", 1, "seed for the deterministic fault schedule")
+
+		pDelay     = flag.Float64("p-delay", 0, "per-request probability of added latency")
+		pHang      = flag.Float64("p-hang", 0, "per-request probability of hanging without answering")
+		pReset     = flag.Float64("p-reset", 0, "per-request probability of a TCP reset")
+		pBlackhole = flag.Float64("p-blackhole", 0, "per-request probability of a blackhole (unread, unanswered)")
+		pErr5xx    = flag.Float64("p-err5xx", 0, "per-request probability of an injected 502")
+		pSlowBody  = flag.Float64("p-slowbody", 0, "per-request probability of a trickled response body")
+
+		delayFor      = flag.Duration("delay-for", 100*time.Millisecond, "added latency of one delay fault")
+		hangFor       = flag.Duration("hang-for", 0, "bound on hang/blackhole holds (0 holds until the client gives up)")
+		slowBodyPause = flag.Duration("slowbody-pause", 20*time.Millisecond, "pause between trickled body chunks")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("-target is required")
+	}
+
+	p, err := chaos.New(chaos.Config{
+		Target: *target,
+		Seed:   *seed,
+		Mix: chaos.Mix{
+			Delay:         *pDelay,
+			Hang:          *pHang,
+			Reset:         *pReset,
+			Blackhole:     *pBlackhole,
+			Err5xx:        *pErr5xx,
+			SlowBody:      *pSlowBody,
+			DelayFor:      *delayFor,
+			HangFor:       *hangFor,
+			SlowBodyPause: *slowBodyPause,
+		},
+	})
+	if err != nil {
+		log.Fatalf("chaos: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: p.Handler()}
+	go func() {
+		log.Printf("chaos proxy on %s -> %s (seed=%d)", *addr, *target, *seed)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down")
+	p.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+}

@@ -10,6 +10,10 @@
 //	            -replica http://10.0.0.3:8080 \
 //	            [-addr :9090] [-vnodes 64] [-health-interval 1s]
 //	            [-health-timeout 2s] [-fail-threshold 2] [-drain-wait 500ms]
+//	            [-attempt-timeout 10s] [-retry-budget 3]
+//	            [-backoff-base 10ms] [-backoff-max 500ms]
+//	            [-max-body-bytes 8388608] [-shed-window 10s]
+//	            [-shed-threshold 0.5] [-shed-min-samples 20]
 //	            [-debug-addr :6061] [-log-requests]
 //
 // Endpoints:
@@ -67,6 +71,14 @@ func main() {
 		healthTimeout  = flag.Duration("health-timeout", 2*time.Second, "health probe timeout")
 		failThreshold  = flag.Int("fail-threshold", 2, "consecutive probe failures before a replica is ejected")
 		drainWait      = flag.Duration("drain-wait", 500*time.Millisecond, "settle time after draining a replica during rolling rekey")
+		attemptTimeout = flag.Duration("attempt-timeout", 10*time.Second, "per-attempt deadline on proxied data-plane requests; a timeout with the client still live ejects the replica as slow and fails over (negative disables)")
+		retryBudget    = flag.Int("retry-budget", 3, "failover replays allowed per request beyond the first attempt")
+		backoffBase    = flag.Duration("backoff-base", 10*time.Millisecond, "full-jitter backoff base between failover attempts")
+		backoffMax     = flag.Duration("backoff-max", 500*time.Millisecond, "full-jitter backoff ceiling between failover attempts")
+		maxBodyBytes   = flag.Int64("max-body-bytes", 8<<20, "largest client request body buffered for failover replay; beyond it the client gets 413")
+		shedWindow     = flag.Duration("shed-window", 10*time.Second, "sliding window for per-replica shed/error-rate tracking")
+		shedThreshold  = flag.Float64("shed-threshold", 0.5, "bad-outcome fraction over the shed window beyond which a replica is soft-drained out of new sync traffic")
+		shedMinSamples = flag.Int("shed-min-samples", 20, "attempts required in the shed window before a soft-drain verdict")
 		debugAddr      = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty disables)")
 		logReqs        = flag.Bool("log-requests", false, "log every HTTP request (id, method, path, status, duration) via slog")
 	)
@@ -82,6 +94,14 @@ func main() {
 		HealthTimeout:  *healthTimeout,
 		FailThreshold:  *failThreshold,
 		DrainWait:      *drainWait,
+		AttemptTimeout: *attemptTimeout,
+		RetryBudget:    *retryBudget,
+		BackoffBase:    *backoffBase,
+		BackoffMax:     *backoffMax,
+		MaxBodyBytes:   *maxBodyBytes,
+		ShedWindow:     *shedWindow,
+		ShedRate:       *shedThreshold,
+		ShedMinSamples: *shedMinSamples,
 	})
 	if err != nil {
 		log.Fatalf("fleet: %v", err)

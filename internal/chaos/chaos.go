@@ -1,0 +1,401 @@
+// Package chaos is a fault-injecting reverse proxy for driving the fleet
+// through gray failures on purpose: it sits between the router and one
+// radar-serve replica and, per request, draws from a seeded schedule
+// whether to proxy cleanly or to inject one of six faults —
+//
+//	Delay     — sleep DelayFor, then proxy normally (added latency)
+//	Hang      — read the request, never answer (the classic gray failure:
+//	            the connection is up, the replica is gone)
+//	Reset     — hijack the client connection and close it with SO_LINGER=0,
+//	            so the client sees a TCP RST ("connection reset by peer")
+//	Blackhole — hold the connection without even reading the request
+//	Err5xx    — answer 502 without touching the backend (mid-crash verdict)
+//	SlowBody  — proxy, but trickle the response body chunk by chunk
+//
+// Each fault has its own probability; the draw sequence is a pure
+// function of Seed and request order, so a test that replays the same
+// request sequence sees the same fault schedule. A backend the proxy
+// cannot reach is reported to the client as an inbound connection reset —
+// transport failures stay transport failures through the proxy, which is
+// what lets the fleet's ejection logic see a killed replica behind a
+// still-alive chaos proxy.
+//
+// The handler also serves a tiny control plane outside the proxied
+// namespace: GET /chaos/stats returns per-fault counts, and
+// POST /chaos/config swaps the fault mix at runtime (used by
+// chaos_smoke.sh to blackhole one replica, let the fleet eject it, and
+// then heal it to watch readmission + reconciliation fire).
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault names one injected failure mode.
+type Fault string
+
+const (
+	FaultNone      Fault = "none"
+	FaultDelay     Fault = "delay"
+	FaultHang      Fault = "hang"
+	FaultReset     Fault = "reset"
+	FaultBlackhole Fault = "blackhole"
+	FaultErr5xx    Fault = "err5xx"
+	FaultSlowBody  Fault = "slowbody"
+)
+
+// faults is the draw order — fixed, so a schedule is reproducible from
+// the seed alone.
+var faults = []Fault{FaultDelay, FaultHang, FaultReset, FaultBlackhole, FaultErr5xx, FaultSlowBody}
+
+// Mix is the runtime-swappable slice of Config: the per-request fault
+// probabilities and their duration knobs. The zero Mix injects nothing —
+// a pass-through proxy.
+type Mix struct {
+	// Per-request injection probabilities in [0,1]; their sum must stay
+	// ≤ 1 (the remainder is the clean-proxy probability).
+	Delay     float64 `json:"delay,omitempty"`
+	Hang      float64 `json:"hang,omitempty"`
+	Reset     float64 `json:"reset,omitempty"`
+	Blackhole float64 `json:"blackhole,omitempty"`
+	Err5xx    float64 `json:"err5xx,omitempty"`
+	SlowBody  float64 `json:"slowbody,omitempty"`
+
+	// DelayFor is the added latency of one Delay fault (default 100ms).
+	DelayFor time.Duration `json:"delay_for,omitempty"`
+	// HangFor bounds how long Hang/Blackhole hold the connection before
+	// resetting it; 0 holds until the client gives up or the proxy
+	// closes. A bound keeps sequential admin broadcasts from stalling on
+	// a blackholed replica forever.
+	HangFor time.Duration `json:"hang_for,omitempty"`
+	// SlowBodyChunk / SlowBodyPause trickle the response body
+	// SlowBodyChunk bytes at a time with SlowBodyPause between writes
+	// (defaults 256 bytes / 20ms).
+	SlowBodyChunk int           `json:"slowbody_chunk,omitempty"`
+	SlowBodyPause time.Duration `json:"slowbody_pause,omitempty"`
+}
+
+func (m *Mix) fillDefaults() {
+	if m.DelayFor <= 0 {
+		m.DelayFor = 100 * time.Millisecond
+	}
+	if m.SlowBodyChunk <= 0 {
+		m.SlowBodyChunk = 256
+	}
+	if m.SlowBodyPause <= 0 {
+		m.SlowBodyPause = 20 * time.Millisecond
+	}
+}
+
+func (m *Mix) validate() error {
+	sum := 0.0
+	for _, p := range []float64{m.Delay, m.Hang, m.Reset, m.Blackhole, m.Err5xx, m.SlowBody} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaos: fault probability %v outside [0,1]", p)
+		}
+		sum += p
+	}
+	if sum > 1 {
+		return fmt.Errorf("chaos: fault probabilities sum to %.3f > 1", sum)
+	}
+	return nil
+}
+
+// prob returns the probability configured for one fault.
+func (m *Mix) prob(f Fault) float64 {
+	switch f {
+	case FaultDelay:
+		return m.Delay
+	case FaultHang:
+		return m.Hang
+	case FaultReset:
+		return m.Reset
+	case FaultBlackhole:
+		return m.Blackhole
+	case FaultErr5xx:
+		return m.Err5xx
+	case FaultSlowBody:
+		return m.SlowBody
+	}
+	return 0
+}
+
+// Config builds a Proxy.
+type Config struct {
+	// Target is the backend base URL the proxy forwards to. Required.
+	Target string
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// Mix is the initial fault mix (zero = pass-through).
+	Mix Mix
+	// Client issues the forwarded requests (default: a fresh Transport —
+	// deliberately NOT the shared DefaultTransport, so one proxy's hung
+	// backends cannot exhaust another's connection pool).
+	Client *http.Client
+}
+
+// Proxy is one fault-injecting reverse proxy instance. Safe for
+// concurrent use; create with New.
+type Proxy struct {
+	target *url.URL
+	client *http.Client
+	done   chan struct{}
+
+	mu     sync.Mutex
+	mix    Mix
+	rng    *rand.Rand
+	counts map[Fault]int64
+}
+
+// New validates the config and builds the proxy.
+func New(cfg Config) (*Proxy, error) {
+	u, err := url.Parse(strings.TrimRight(cfg.Target, "/"))
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("chaos: target %q is not an absolute URL", cfg.Target)
+	}
+	if err := cfg.Mix.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Mix.fillDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{}}
+	}
+	return &Proxy{
+		target: u,
+		client: client,
+		done:   make(chan struct{}),
+		mix:    cfg.Mix,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[Fault]int64),
+	}, nil
+}
+
+// Close releases held connections (hangs and blackholes in flight return
+// immediately as resets).
+func (p *Proxy) Close() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+}
+
+// SetMix swaps the fault mix at runtime. The schedule's RNG and the
+// fault counters carry across the swap.
+func (p *Proxy) SetMix(m Mix) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	m.fillDefaults()
+	p.mu.Lock()
+	p.mix = m
+	p.mu.Unlock()
+	return nil
+}
+
+// Counts snapshots how many times each fault fired (plus clean proxies
+// under "none").
+func (p *Proxy) Counts() map[Fault]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Fault]int64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// draw picks this request's fault from one uniform sample walked down
+// the probability ladder, and books it. The mutex serializes draws, so
+// the schedule is deterministic for a serial request sequence.
+func (p *Proxy) draw() (Fault, Mix) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := p.rng.Float64()
+	mix := p.mix
+	acc := 0.0
+	for _, f := range faults {
+		acc += mix.prob(f)
+		if u < acc {
+			p.counts[f]++
+			return f, mix
+		}
+	}
+	p.counts[FaultNone]++
+	return FaultNone, mix
+}
+
+// ServeHTTP injects this request's scheduled fault.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault, mix := p.draw()
+	switch fault {
+	case FaultReset:
+		reset(w)
+	case FaultHang:
+		io.Copy(io.Discard, r.Body)
+		p.hold(w, r, mix.HangFor)
+	case FaultBlackhole:
+		p.hold(w, r, mix.HangFor)
+	case FaultErr5xx:
+		http.Error(w, "chaos: injected backend error", http.StatusBadGateway)
+	case FaultDelay:
+		t := time.NewTimer(mix.DelayFor)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		case <-p.done:
+			return
+		}
+		p.forward(w, r, Mix{})
+	case FaultSlowBody:
+		p.forward(w, r, mix)
+	default:
+		p.forward(w, r, Mix{})
+	}
+}
+
+// hold pins the connection without answering — the gray failure the
+// per-attempt deadline exists for — until the client hangs up, the proxy
+// closes, or the bound elapses; then the connection is reset so no peer
+// waits forever.
+func (p *Proxy) hold(w http.ResponseWriter, r *http.Request, bound time.Duration) {
+	var expire <-chan time.Time
+	if bound > 0 {
+		t := time.NewTimer(bound)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-r.Context().Done():
+	case <-p.done:
+	case <-expire:
+	}
+	reset(w)
+}
+
+// forward proxies the request to the backend. A slow mix (non-zero
+// SlowBodyPause from FaultSlowBody) trickles the response body. Backend
+// transport failures become inbound connection resets: the proxy must
+// not launder a dead backend into a clean HTTP error.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, slow Mix) {
+	out := p.target.JoinPath(r.URL.Path)
+	out.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, out.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		reset(w)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if slow.SlowBodyPause <= 0 {
+		io.Copy(w, resp.Body)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, slow.SlowBodyChunk)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+		t := time.NewTimer(slow.SlowBodyPause)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-p.done:
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// Handler wraps the proxy with its control plane: /chaos/config and
+// /chaos/stats are answered locally (the backend never sees them, and no
+// fault is ever injected into them — a chaotic control plane cannot heal
+// itself); everything else goes through fault injection.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /chaos/config", p.handleConfig)
+	mux.HandleFunc("GET /chaos/stats", p.handleStats)
+	mux.Handle("/", p)
+	return mux
+}
+
+// handleConfig swaps the fault mix: POST /chaos/config with a JSON Mix.
+// Durations use Go's nanosecond int64 encoding (e.g. 500000000 = 500ms).
+func (p *Proxy) handleConfig(w http.ResponseWriter, r *http.Request) {
+	var m Mix
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&m); err != nil {
+		http.Error(w, "bad mix: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := p.SetMix(m); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// handleStats reports per-fault counts: GET /chaos/stats.
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p.Counts())
+}
+
+// reset aborts the client connection as rudely as the transport allows:
+// hijack and close with SO_LINGER=0 so the peer sees a TCP RST. When the
+// ResponseWriter cannot be hijacked, panic with ErrAbortHandler — the
+// server drops the connection mid-response, which Go clients surface as
+// an unexpected-EOF transport error.
+func reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetLinger(0)
+	}
+	conn.Close()
+}

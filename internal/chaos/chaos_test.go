@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend is a plain echo backend: 200, a recognizable header, and a
+// body naming the path.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Backend", "real")
+		fmt.Fprintf(w, "echo %s %s", r.Method, r.URL.Path)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, target string, mix Mix, seed int64) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := New(Config{Target: target, Seed: seed, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	// Close the proxy first: it releases held connections (hangs,
+	// blackholes) so the server's Close does not wait on them.
+	t.Cleanup(func() { p.Close(); ts.Close() })
+	return p, ts
+}
+
+// TestChaosDeterministicSchedule: two proxies with the same seed and mix
+// draw the identical fault sequence — a test that replays the same
+// request order sees the same schedule.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	mix := Mix{Delay: 0.1, Hang: 0.1, Reset: 0.1, Blackhole: 0.1, Err5xx: 0.1, SlowBody: 0.1}
+	a, err := New(Config{Target: "http://127.0.0.1:1", Seed: 42, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Target: "http://127.0.0.1:1", Seed: 42, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		fa, _ := a.draw()
+		fb, _ := b.draw()
+		if fa != fb {
+			t.Fatalf("draw %d diverged: %s vs %s with equal seeds", i, fa, fb)
+		}
+	}
+	// A different seed must actually produce a different schedule.
+	c, _ := New(Config{Target: "http://127.0.0.1:1", Seed: 43, Mix: mix})
+	diverged := false
+	for i := 0; i < 200; i++ {
+		fa, _ := a.draw()
+		fc, _ := c.draw()
+		if fa != fc {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("schedules for different seeds never diverged")
+	}
+}
+
+// TestChaosPassthrough: the zero mix is a clean reverse proxy.
+func TestChaosPassthrough(t *testing.T) {
+	backend := newBackend(t)
+	p, ts := newProxy(t, backend.URL, Mix{}, 1)
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Backend") != "real" {
+		t.Fatalf("passthrough → %d %v", resp.StatusCode, resp.Header)
+	}
+	if string(body) != "echo GET /v1/models" {
+		t.Fatalf("passthrough body %q", body)
+	}
+	if n := p.Counts()[FaultNone]; n != 1 {
+		t.Fatalf("clean proxy counted %d, want 1", n)
+	}
+}
+
+// TestChaosErr5xx: an injected 502 never reaches the backend.
+func TestChaosErr5xx(t *testing.T) {
+	backend := newBackend(t)
+	p, ts := newProxy(t, backend.URL, Mix{Err5xx: 1}, 1)
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("err5xx → %d, want 502", resp.StatusCode)
+	}
+	if n := p.Counts()[FaultErr5xx]; n != 1 {
+		t.Fatalf("err5xx counted %d, want 1", n)
+	}
+}
+
+// TestChaosDelay: the delay fault adds latency and then proxies cleanly.
+func TestChaosDelay(t *testing.T) {
+	backend := newBackend(t)
+	_, ts := newProxy(t, backend.URL, Mix{Delay: 1, DelayFor: 80 * time.Millisecond}, 1)
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request → %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delay fault took only %v", elapsed)
+	}
+}
+
+// TestChaosReset: the reset fault surfaces as a transport error, not an
+// HTTP status.
+func TestChaosReset(t *testing.T) {
+	backend := newBackend(t)
+	_, ts := newProxy(t, backend.URL, Mix{Reset: 1}, 1)
+	resp, err := http.Get(ts.URL + "/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset fault answered HTTP %d, want a transport error", resp.StatusCode)
+	}
+}
+
+// TestChaosHangBounded: a hang held past HangFor resets the connection,
+// so even a client with no deadline is eventually released.
+func TestChaosHangBounded(t *testing.T) {
+	backend := newBackend(t)
+	_, ts := newProxy(t, backend.URL, Mix{Hang: 1, HangFor: 100 * time.Millisecond}, 1)
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("hang fault answered HTTP %d", resp.StatusCode)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond || elapsed > 3*time.Second {
+		t.Fatalf("bounded hang released after %v, want ≈100ms", elapsed)
+	}
+}
+
+// TestChaosBlackholeClientDeadline: a blackholed request is released by
+// the client's own deadline — the gray failure the fleet's per-attempt
+// timeout exists to bound.
+func TestChaosBlackholeClientDeadline(t *testing.T) {
+	backend := newBackend(t)
+	_, ts := newProxy(t, backend.URL, Mix{Blackhole: 1}, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/x", nil)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("blackhole answered HTTP %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blackholed client released after %v, want ≈100ms", elapsed)
+	}
+}
+
+// TestChaosSlowBody: the trickled body still arrives complete.
+func TestChaosSlowBody(t *testing.T) {
+	payload := strings.Repeat("radar", 64)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(backend.Close)
+	_, ts := newProxy(t, backend.URL, Mix{
+		SlowBody: 1, SlowBodyChunk: 64, SlowBodyPause: 5 * time.Millisecond,
+	}, 1)
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != payload {
+		t.Fatalf("slow body arrived wrong: err=%v len=%d want %d", err, len(body), len(payload))
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("trickled body arrived in %v — no pauses applied", elapsed)
+	}
+}
+
+// TestChaosBackendDownIsReset: a dead backend surfaces as a transport
+// error through the proxy — never laundered into a clean HTTP error —
+// so the fleet's ejection logic sees a killed replica behind a live
+// chaos proxy.
+func TestChaosBackendDownIsReset(t *testing.T) {
+	backend := newBackend(t)
+	target := backend.URL
+	backend.Close()
+	_, ts := newProxy(t, target, Mix{}, 1)
+	resp, err := http.Get(ts.URL + "/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("dead backend answered HTTP %d through the proxy, want a transport error", resp.StatusCode)
+	}
+}
+
+// TestChaosControlPlane: /chaos/config swaps the mix at runtime and
+// /chaos/stats reports counts; neither is ever faulted.
+func TestChaosControlPlane(t *testing.T) {
+	backend := newBackend(t)
+	_, ts := newProxy(t, backend.URL, Mix{}, 1)
+
+	// Clean request under the zero mix.
+	resp, err := http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Swap to guaranteed 502s.
+	resp, err = http.Post(ts.URL+"/chaos/config", "application/json", strings.NewReader(`{"err5xx":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("config swap → %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("post-swap request → %d, want 502", resp.StatusCode)
+	}
+
+	// Stats see both the clean proxy and the injected fault — and the
+	// control-plane requests themselves are not drawn against.
+	resp, err = http.Get(ts.URL + "/chaos/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts map[Fault]int64
+	err = json.NewDecoder(resp.Body).Decode(&counts)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[FaultNone] != 1 || counts[FaultErr5xx] != 1 {
+		t.Fatalf("stats %v, want none=1 err5xx=1", counts)
+	}
+
+	// An invalid mix is rejected and the old one stays live.
+	resp, err = http.Post(ts.URL+"/chaos/config", "application/json", strings.NewReader(`{"err5xx":0.9,"reset":0.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid mix → %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestChaosMixValidation: probabilities must be in [0,1] and sum ≤ 1.
+func TestChaosMixValidation(t *testing.T) {
+	if _, err := New(Config{Target: "http://a:1", Mix: Mix{Hang: 1.5}}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := New(Config{Target: "http://a:1", Mix: Mix{Hang: 0.6, Reset: 0.6}}); err == nil {
+		t.Fatal("probability sum > 1 accepted")
+	}
+	if _, err := New(Config{Target: "not a url"}); err == nil {
+		t.Fatal("relative target accepted")
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"radar/internal/attack"
+	"radar/internal/chaos"
 	"radar/internal/core"
 	"radar/internal/fleet"
 	"radar/internal/model"
@@ -24,7 +26,7 @@ import (
 
 // FleetPhase is one traffic phase of the fleet experiment.
 type FleetPhase struct {
-	// Name labels the phase: steady, replica-kill, rolling-rekey.
+	// Name labels the phase: steady, replica-kill, rolling-rekey, chaos.
 	Name string `json:"name"`
 	// Requests issued, Failures among them (non-2xx or transport error).
 	Requests int `json:"requests"`
@@ -38,9 +40,11 @@ type FleetPhase struct {
 
 // FleetScalingResult is the fleet benchmark: a consistent-hash router in
 // front of live radar-serve replicas (each hosting every model, each under
-// bit-flip attack), driven through three phases — steady routed traffic,
-// one replica killed mid-traffic, and a zero-downtime rolling rekey with
-// traffic flowing. It is written as BENCH_fleetscale.json by
+// bit-flip attack, each reached through a fault-injecting chaos proxy),
+// driven through four phases — steady routed traffic, one replica killed
+// mid-traffic, a zero-downtime rolling rekey with traffic flowing, and a
+// gray-failure chaos storm (hangs, TCP resets, 5xx bursts) against the
+// survivors. It is written as BENCH_fleetscale.json by
 // radar-bench -exp fleetscale.
 type FleetScalingResult struct {
 	// Replicas / Models describe the fleet topology.
@@ -54,7 +58,7 @@ type FleetScalingResult struct {
 	FlipsPerRound int `json:"flips_per_round"`
 	// AttackRounds counts bit-flip injections across the whole run.
 	AttackRounds int `json:"attack_rounds"`
-	// Phases holds steady, replica-kill and rolling-rekey in order.
+	// Phases holds steady, replica-kill, rolling-rekey and chaos in order.
 	Phases []FleetPhase `json:"phases"`
 	// Requests / RPS / SuccessRate aggregate across phases.
 	Requests    int     `json:"requests"`
@@ -66,6 +70,10 @@ type FleetScalingResult struct {
 	// RekeyedReplicas counts replicas the rolling rekey reached (every
 	// live one; the killed replica reports an error and is not counted).
 	RekeyedReplicas int `json:"rekeyed_replicas"`
+	// ChaosFaults counts the faults the chaos proxies actually injected
+	// during the chaos phase, by fault name (the "none" entry is clean
+	// passthroughs).
+	ChaosFaults map[string]int64 `json:"chaos_faults,omitempty"`
 }
 
 // fleetReplica is one live radar-serve instance under the router: the
@@ -78,8 +86,9 @@ type fleetReplica struct {
 }
 
 // FleetScaling boots nReplicas=3 full serve.Service instances, each
-// hosting the same 2 protected tiny models, behind a fleet router, and
-// measures the three phases. The adversary keeps flipping MSBs in rotating
+// hosting the same 2 protected tiny models, each fronted by a chaos proxy
+// (passthrough until the chaos phase), behind a fleet router, and measures
+// the four phases. The adversary keeps flipping MSBs in rotating
 // (replica, model) targets throughout — the fleet's job is routing and
 // availability; each replica's scrubber still owns recovery.
 func FleetScaling() FleetScalingResult {
@@ -105,6 +114,8 @@ func FleetScaling() FleetScalingResult {
 	}
 
 	replicas := make([]*fleetReplica, nReplicas)
+	proxies := make([]*chaos.Proxy, nReplicas)
+	proxyTS := make([]*httptest.Server, nReplicas)
 	urls := make([]string, nReplicas)
 	var inputShape []int
 	for r := range replicas {
@@ -127,7 +138,16 @@ func FleetScaling() FleetScalingResult {
 		fr.svc = svc
 		fr.ts = httptest.NewServer(svc.Handler())
 		replicas[r] = fr
-		urls[r] = fr.ts.URL
+		// Each replica sits behind its own chaos proxy — passthrough for
+		// the first three phases, fault-injecting in the fourth — so every
+		// phase's traffic takes the identical path.
+		p, err := chaos.New(chaos.Config{Target: fr.ts.URL, Seed: int64(101 + r)})
+		if err != nil {
+			panic(err)
+		}
+		proxies[r] = p
+		proxyTS[r] = httptest.NewServer(p.Handler())
+		urls[r] = proxyTS[r].URL
 	}
 
 	fl, err := fleet.New(fleet.Config{
@@ -135,6 +155,9 @@ func FleetScaling() FleetScalingResult {
 		HealthInterval: 20 * time.Millisecond,
 		HealthTimeout:  time.Second,
 		DrainWait:      20 * time.Millisecond,
+		AttemptTimeout: time.Second,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
 	})
 	if err != nil {
 		panic(err)
@@ -144,7 +167,9 @@ func FleetScaling() FleetScalingResult {
 	defer func() {
 		front.Close()
 		fl.Stop()
-		for _, fr := range replicas {
+		for i, fr := range replicas {
+			proxies[i].Close()
+			proxyTS[i].Close()
 			fr.ts.Close()
 			fr.svc.Close()
 		}
@@ -279,6 +304,27 @@ func FleetScaling() FleetScalingResult {
 		}
 	}
 
+	// Phase 4: gray-failure chaos storm against the survivors. The proxies
+	// switch from passthrough to a mix of hangs (bounded by the fleet's
+	// attempt deadline), TCP resets and injected 5xx; the self-healing
+	// stack — per-attempt timeouts, jittered failover, fast ejection, probe
+	// readmission, panic routing — carries the same routed load through it.
+	storm := chaos.Mix{Hang: 0.02, Reset: 0.02, Err5xx: 0.02, HangFor: time.Second}
+	before := make([]map[chaos.Fault]int64, nReplicas)
+	for i, p := range proxies {
+		before[i] = p.Counts()
+		if err := p.SetMix(storm); err != nil {
+			panic(err)
+		}
+	}
+	res.Phases = append(res.Phases, runPhase("chaos", nil))
+	res.ChaosFaults = make(map[string]int64)
+	for i, p := range proxies {
+		for fault, n := range p.Counts() {
+			res.ChaosFaults[string(fault)] += n - before[i][fault]
+		}
+	}
+
 	res.AttackRounds = attacks
 	var sec float64
 	for _, p := range res.Phases {
@@ -311,6 +357,18 @@ func (r FleetScalingResult) Render() string {
 	}
 	fmt.Fprintf(&sb, "replica killed mid-traffic: ring %d/%d; rolling rekey reached %d replica(s); %d attack rounds; overall %.1f%% of %d requests\n",
 		r.InRingAfterKill, r.Replicas, r.RekeyedReplicas, r.AttackRounds, r.SuccessRate*100, r.Requests)
+	if len(r.ChaosFaults) > 0 {
+		keys := make([]string, 0, len(r.ChaosFaults))
+		for k := range r.ChaosFaults {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("chaos phase injected:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%d", k, r.ChaosFaults[k])
+		}
+		sb.WriteString("\n")
+	}
 	return sb.String()
 }
 

@@ -72,15 +72,23 @@ var gateExtractors = map[string]func(raw []byte) ([]GateMetric, error){
 	// Fleetscale gates only the availability contract: its RPS is
 	// dominated by loopback HTTP round-trips and swings ±20% run to run
 	// on small hosts, which would flake the gate. Raw serving throughput
-	// is already held by the servescale metrics.
+	// is already held by the servescale metrics. The chaos phase's own
+	// success rate is gated once an artifact carries one (older baselines
+	// predate the phase).
 	"BENCH_fleetscale.json": func(raw []byte) ([]GateMetric, error) {
 		var r FleetScalingResult
 		if err := json.Unmarshal(raw, &r); err != nil {
 			return nil, err
 		}
-		return []GateMetric{
+		out := []GateMetric{
 			{Metric: "success_rate", Fresh: r.SuccessRate},
-		}, nil
+		}
+		for _, p := range r.Phases {
+			if p.Name == "chaos" {
+				out = append(out, GateMetric{Metric: "chaos.success_rate", Fresh: p.SuccessRate})
+			}
+		}
+		return out, nil
 	},
 }
 

@@ -26,13 +26,16 @@ type AdminResponse struct {
 // broadcast replays a buffered admin request against every configured
 // replica in order (not just the in-ring ones: hosted model sets must
 // stay identical across the fleet, so a drained replica still receives
-// membership changes). Failures are reported per replica, never fatal to
-// the whole operation.
+// membership changes). Admin work runs without the per-attempt deadline —
+// a fleet-wide scrub legitimately takes as long as the models are large.
+// Failures are reported per replica, never fatal to the whole operation;
+// a replica that missed a broadcast while ejected is repaired by the
+// readmission reconciler.
 func (f *Fleet) broadcast(r *http.Request, path string, body []byte) []ReplicaReport {
 	out := make([]ReplicaReport, 0, len(f.order))
 	for _, base := range f.order {
 		rep := ReplicaReport{Replica: base}
-		resp, err := f.send(r, base, path, body)
+		resp, err := f.sendSlow(r, base, path, body)
 		if err != nil {
 			rep.Err = err.Error()
 			out = append(out, rep)
@@ -54,9 +57,8 @@ func (f *Fleet) broadcast(r *http.Request, path string, body []byte) []ReplicaRe
 // handleBroadcastAdmin fans POST /v1/admin/scrub out to every replica —
 // a fleet-wide scrub sweep with one merged report.
 func (f *Fleet) handleBroadcastAdmin(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := f.readBody(w, r)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, AdminResponse{
@@ -67,20 +69,23 @@ func (f *Fleet) handleBroadcastAdmin(w http.ResponseWriter, r *http.Request) {
 
 // handleBroadcastModel fans a hot model add/remove out to every replica,
 // keeping the fleet's hosted sets identical — a model the ring can route
-// anywhere must exist everywhere.
+// anywhere must exist everywhere. The operation also updates the fleet's
+// hosted-set intent: a replica that was unreachable for the broadcast is
+// diffed against the intent and repaired when the prober readmits it.
 func (f *Fleet) handleBroadcastModel(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := f.readBody(w, r)
+	if !ok {
 		return
 	}
 	op := "add-model"
 	if r.Method == http.MethodDelete {
 		op = "remove-model"
 	}
+	reports := f.broadcast(r, r.URL.Path, body)
+	f.recordModelIntent(r.Method, r.PathValue("name"), body, reports)
 	writeJSON(w, http.StatusOK, AdminResponse{
 		Op:       op,
-		Replicas: f.broadcast(r, r.URL.Path, body),
+		Replicas: reports,
 	})
 }
 
@@ -91,9 +96,8 @@ func (f *Fleet) handleBroadcastModel(w http.ResponseWriter, r *http.Request) {
 // the exclusive window of each per-replica rekey is only ever behind a
 // replica the ring is not routing to.
 func (f *Fleet) handleRollingRekey(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := f.readBody(w, r)
+	if !ok {
 		return
 	}
 	f.rekeyMu.Lock()
@@ -113,7 +117,7 @@ func (f *Fleet) handleRollingRekey(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, r.Context().Err().Error(), http.StatusServiceUnavailable)
 			return
 		}
-		resp, err := f.send(r, base, "/v1/admin/rekey", body)
+		resp, err := f.sendSlow(r, base, "/v1/admin/rekey", body)
 		if err != nil {
 			rep.Err = err.Error()
 		} else {

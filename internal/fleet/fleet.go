@@ -55,6 +55,38 @@ type Config struct {
 	// off the ring before rekeying it, letting in-flight requests finish
 	// (default 500ms).
 	DrainWait time.Duration
+	// AttemptTimeout bounds one proxied data-plane attempt — headers and
+	// body — at min(client deadline, AttemptTimeout). An attempt that
+	// times out while the client's own context is still live is a replica
+	// verdict: the replica is ejected as slow and the request fails over,
+	// so a hung backend costs one bounded attempt instead of the whole
+	// request. Default 10s; negative disables. Admin broadcasts (scrub,
+	// rekey) are exempt — they legitimately run long.
+	AttemptTimeout time.Duration
+	// RetryBudget caps failover replays per request beyond the first
+	// attempt (default 3). The ring's distinct-owner order already bounds
+	// attempts at the replica count; the budget tightens that on large
+	// fleets so one request cannot sweep every replica.
+	RetryBudget int
+	// BackoffBase / BackoffMax shape the full-jitter backoff slept
+	// between failover attempts: attempt n waits rand(0, min(BackoffMax,
+	// BackoffBase<<n)). Defaults 10ms / 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxBodyBytes caps the client request body the router buffers for
+	// failover replay; beyond it the client gets 413 (default 8 MiB).
+	MaxBodyBytes int64
+	// ShedWindow is the span of the per-replica sliding window that
+	// tracks shed/error outcomes (429s, attempt timeouts, 5xx) against
+	// total attempts (default 10s).
+	ShedWindow time.Duration
+	// ShedRate is the bad-outcome fraction over ShedWindow beyond which a
+	// replica is soft-drained — weighted out of new sync traffic while
+	// sticky jobs stay reachable — once at least ShedMinSamples attempts
+	// are in the window (defaults 0.5 and 20). It is readmitted when the
+	// window clears. A soft drain never empties the ring.
+	ShedRate       float64
+	ShedMinSamples int
 	// Client is the proxying HTTP client (default: http.DefaultTransport
 	// with no overall timeout — inference requests own their deadlines).
 	Client *http.Client
@@ -76,6 +108,30 @@ func (c *Config) fillDefaults() {
 	if c.DrainWait <= 0 {
 		c.DrainWait = 500 * time.Millisecond
 	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.ShedWindow <= 0 {
+		c.ShedWindow = 10 * time.Second
+	}
+	if c.ShedRate <= 0 || c.ShedRate > 1 {
+		c.ShedRate = 0.5
+	}
+	if c.ShedMinSamples <= 0 {
+		c.ShedMinSamples = 20
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
@@ -86,9 +142,18 @@ type replica struct {
 	url  string
 	host string // host:port, the replica label on scraped series
 
+	// window tracks recent data-plane outcomes (sheds, attempt timeouts,
+	// 5xx vs. successes) for the proactive soft-drain decision.
+	window *shedWindow
+
+	// probing guards against overlapping health probes: a replica whose
+	// probe is still in flight skips the next tick instead of stacking.
+	probing atomic.Bool
+
 	mu       sync.Mutex
 	healthy  bool
 	draining bool // admin-held off the ring; prober must not readmit
+	shedded  bool // soft-drained for persistent overload; prober readmits
 	fails    int
 	lastErr  string
 	lastSeen time.Time
@@ -99,8 +164,12 @@ type ReplicaStatus struct {
 	URL      string `json:"url"`
 	Healthy  bool   `json:"healthy"`
 	Draining bool   `json:"draining,omitempty"`
-	InRing   bool   `json:"in_ring"`
-	LastErr  string `json:"last_error,omitempty"`
+	// SoftDrained marks a replica weighted out of new sync traffic for a
+	// persistently high shed/error rate; it rejoins when its window clears.
+	SoftDrained bool    `json:"soft_drained,omitempty"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
+	InRing      bool    `json:"in_ring"`
+	LastErr     string  `json:"last_error,omitempty"`
 }
 
 // Fleet routes /v1 traffic across radar-serve replicas. Build with New,
@@ -116,6 +185,11 @@ type Fleet struct {
 	// jobs is the sticky job→replica map: job IDs are minted by one
 	// backend and only it can answer for them.
 	jobs sync.Map // string(JobID) → base URL
+
+	// intent is the fleet-wide hosted-model intent accumulated from admin
+	// broadcasts; readmitted replicas are diffed against it and repaired
+	// before they re-enter the ring.
+	intent modelIntent
 
 	// rekeyMu serializes rolling rekeys; overlapping drains could empty
 	// the ring.
@@ -157,7 +231,10 @@ func New(cfg Config) (*Fleet, error) {
 		if _, dup := f.replicas[base]; dup {
 			return nil, fmt.Errorf("fleet: duplicate replica %q", base)
 		}
-		f.replicas[base] = &replica{url: base, host: u.Host, healthy: true}
+		f.replicas[base] = &replica{
+			url: base, host: u.Host, healthy: true,
+			window: newShedWindow(cfg.ShedWindow),
+		}
 		f.order = append(f.order, base)
 		f.ring.Add(base)
 	}
@@ -194,13 +271,16 @@ func (f *Fleet) statuses() []ReplicaStatus {
 	out := make([]ReplicaStatus, 0, len(f.order))
 	for _, base := range f.order {
 		r := f.replicas[base]
+		rate, _ := r.window.rate()
 		r.mu.Lock()
 		out = append(out, ReplicaStatus{
-			URL:      r.url,
-			Healthy:  r.healthy,
-			Draining: r.draining,
-			InRing:   f.ring.Has(r.url),
-			LastErr:  r.lastErr,
+			URL:         r.url,
+			Healthy:     r.healthy,
+			Draining:    r.draining,
+			SoftDrained: r.shedded,
+			ShedRate:    rate,
+			InRing:      f.ring.Has(r.url),
+			LastErr:     r.lastErr,
 		})
 		r.mu.Unlock()
 	}

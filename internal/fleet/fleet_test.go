@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,37 +24,61 @@ type stubReplica struct {
 	name string
 	ts   *httptest.Server
 
-	mu      sync.Mutex
-	infers  map[string]int // model → count
-	jobs    map[string]bool
-	jobSeq  int
-	rekeys  int
-	scrubs  int
-	adds    []string
-	removes []string
-	broken  atomic.Bool // answer 500 on everything while set
-	shed    atomic.Bool // answer 429 on infer while set (queue full)
+	mu        sync.Mutex
+	hosted    map[string]bool // live hosted set, mutated by admin add/remove
+	infers    map[string]int  // model → count
+	jobs      map[string]bool
+	jobSeq    int
+	rekeys    int
+	scrubs    int
+	adds      []string
+	removes   []string
+	broken    atomic.Bool  // answer 500 on everything (incl. admin) while set
+	shed      atomic.Bool  // answer 429 on infer/submit while set (queue full)
+	hang      atomic.Bool  // hold infer without answering while set (gray failure)
+	probeSlow atomic.Int64 // ns of added latency on GET /v1/models
 }
 
 func newStubReplica(name string, models ...string) *stubReplica {
-	s := &stubReplica{name: name, infers: map[string]int{}, jobs: map[string]bool{}}
-	hosted := map[string]bool{}
+	s := &stubReplica{
+		name: name, infers: map[string]int{}, jobs: map[string]bool{},
+		hosted: map[string]bool{},
+	}
 	for _, m := range models {
-		hosted[m] = true
+		s.hosted[m] = true
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		if d := s.probeSlow.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
 		if s.broken.Load() {
 			http.Error(w, "broken", http.StatusInternalServerError)
 			return
 		}
 		resp := serve.ModelsResponse{Jobs: serve.JobTableStats{Capacity: 100}}
-		for _, m := range models {
+		s.mu.Lock()
+		hosted := make([]string, 0, len(s.hosted))
+		for m := range s.hosted {
+			hosted = append(hosted, m)
+		}
+		s.mu.Unlock()
+		sort.Strings(hosted)
+		for _, m := range hosted {
 			resp.Models = append(resp.Models, serve.ModelInfo{Name: m, Healthy: true})
 		}
 		json.NewEncoder(w).Encode(resp)
 	})
 	mux.HandleFunc("POST /v1/models/{model}/infer", func(w http.ResponseWriter, r *http.Request) {
+		if s.hang.Load() {
+			// Gray failure: the request is accepted and read, the answer
+			// never comes. Consuming the body first matters — it arms the
+			// server's background read, so the proxy abandoning the attempt
+			// cancels this context and releases the handler.
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+			return
+		}
 		if s.broken.Load() {
 			http.Error(w, "broken", http.StatusInternalServerError)
 			return
@@ -64,7 +89,10 @@ func newStubReplica(name string, models ...string) *stubReplica {
 			return
 		}
 		m := r.PathValue("model")
-		if !hosted[m] {
+		s.mu.Lock()
+		ok := s.hosted[m]
+		s.mu.Unlock()
+		if !ok {
 			http.Error(w, "unknown model", http.StatusNotFound)
 			return
 		}
@@ -74,8 +102,16 @@ func newStubReplica(name string, models ...string) *stubReplica {
 		fmt.Fprintf(w, `{"results":[{"class":1,"logits":[0,1]}]}`)
 	})
 	mux.HandleFunc("POST /v1/models/{model}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if s.shed.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
 		m := r.PathValue("model")
-		if !hosted[m] {
+		s.mu.Lock()
+		ok := s.hosted[m]
+		s.mu.Unlock()
+		if !ok {
 			http.Error(w, "unknown model", http.StatusNotFound)
 			return
 		}
@@ -124,15 +160,25 @@ func newStubReplica(name string, models ...string) *stubReplica {
 		fmt.Fprintf(w, `{"results":[{"model":"all","flagged":0,"zeroed":0}]}`)
 	})
 	mux.HandleFunc("POST /v1/admin/models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if s.broken.Load() {
+			http.Error(w, "broken", http.StatusInternalServerError)
+			return
+		}
 		s.mu.Lock()
 		s.adds = append(s.adds, r.PathValue("name"))
+		s.hosted[r.PathValue("name")] = true
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusCreated)
 		fmt.Fprintf(w, `{"name":%q}`, r.PathValue("name"))
 	})
 	mux.HandleFunc("DELETE /v1/admin/models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if s.broken.Load() {
+			http.Error(w, "broken", http.StatusInternalServerError)
+			return
+		}
 		s.mu.Lock()
 		s.removes = append(s.removes, r.PathValue("name"))
+		delete(s.hosted, r.PathValue("name"))
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 	})
@@ -170,9 +216,22 @@ func (s *stubReplica) inferCount(model string) int {
 	return s.infers[model]
 }
 
+func (s *stubReplica) hostsModel(model string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hosted[model]
+}
+
 // newTestFleet boots n stub replicas hosting the given models behind a
 // router with test-friendly timings.
 func newTestFleet(t *testing.T, n int, models ...string) (*Fleet, []*stubReplica) {
+	return newTestFleetCfg(t, n, Config{}, models...)
+}
+
+// newTestFleetCfg is newTestFleet with config overrides: zero-valued
+// fields get the usual test-friendly timings, everything else is passed
+// through (Replicas is always filled from the stubs).
+func newTestFleetCfg(t *testing.T, n int, cfg Config, models ...string) (*Fleet, []*stubReplica) {
 	t.Helper()
 	stubs := make([]*stubReplica, n)
 	urls := make([]string, n)
@@ -181,12 +240,17 @@ func newTestFleet(t *testing.T, n int, models ...string) (*Fleet, []*stubReplica
 		urls[i] = stubs[i].ts.URL
 		t.Cleanup(stubs[i].ts.Close)
 	}
-	f, err := New(Config{
-		Replicas:       urls,
-		HealthInterval: 20 * time.Millisecond,
-		HealthTimeout:  time.Second,
-		DrainWait:      10 * time.Millisecond,
-	})
+	cfg.Replicas = urls
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 20 * time.Millisecond
+	}
+	if cfg.HealthTimeout == 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	if cfg.DrainWait == 0 {
+		cfg.DrainWait = 10 * time.Millisecond
+	}
+	f, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,15 +5,25 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 )
 
 // probeLoop drives the health view: each interval, every replica is
 // probed off GET /v1/models (the cheapest request that exercises the
-// whole serving stack — registry, metrics, job table). Failures
-// accumulate toward ejection; one success readmits.
+// whole serving stack — registry, metrics, job table). Probes run
+// concurrently and independently per replica — the tick never joins on
+// them, so one replica hanging at HealthTimeout cannot stall the others'
+// probes (and with them every pending readmission); a replica whose
+// previous probe is still in flight just skips the tick. Failures
+// accumulate toward ejection; one success readmits — after the
+// readmission reconciler has repaired any hosted-set drift the replica
+// accumulated while it was unreachable. Each tick also re-examines
+// soft-drained replicas whose shed windows have cleared.
 func (f *Fleet) probeLoop() {
 	defer f.wg.Done()
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	t := time.NewTicker(f.cfg.HealthInterval)
 	defer t.Stop()
 	for {
@@ -22,13 +32,26 @@ func (f *Fleet) probeLoop() {
 			return
 		case <-t.C:
 			for _, base := range f.order {
-				f.probe(f.replicas[base])
+				r := f.replicas[base]
+				if !r.probing.CompareAndSwap(false, true) {
+					continue
+				}
+				wg.Add(1)
+				go func(r *replica) {
+					defer wg.Done()
+					defer r.probing.Store(false)
+					f.probe(r)
+					f.maybeReadmitShed(r)
+				}(r)
 			}
 		}
 	}
 }
 
-// probe runs one health check and applies its verdict.
+// probe runs one health check and applies its verdict. A success that
+// would readmit an ejected replica first runs the model-set
+// reconciliation: a replica that missed broadcast membership changes
+// while unreachable must not rejoin the ring with a stale hosted set.
 func (f *Fleet) probe(r *replica) {
 	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
 	defer cancel()
@@ -48,13 +71,19 @@ func (f *Fleet) probe(r *replica) {
 		f.noteProbe(r, fmt.Errorf("status %d", resp.StatusCode))
 		return
 	}
+	r.mu.Lock()
+	wasDown := !r.healthy
+	r.mu.Unlock()
+	if wasDown {
+		f.reconcileModels(r)
+	}
 	f.noteProbe(r, nil)
 }
 
 // noteProbe folds one probe result into the replica's state, ejecting
 // from or readmitting to the ring as the verdict flips. A draining
-// replica (admin-held off the ring) keeps its health bookkeeping but is
-// never readmitted here.
+// replica (admin-held off the ring) or a soft-drained one keeps its
+// health bookkeeping but is never readmitted here.
 func (f *Fleet) noteProbe(r *replica, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -75,15 +104,16 @@ func (f *Fleet) noteProbe(r *replica, err error) {
 	if !r.healthy {
 		r.healthy = true
 	}
-	if !r.draining {
+	if !r.draining && !r.shedded {
 		f.ring.Add(r.url)
 	}
 }
 
 // noteTransportFailure is the proxy's fast path to ejection: a connection
-// that refuses or resets mid-request means the replica is gone right now,
-// so it leaves the ring immediately instead of waiting out the probe
-// threshold. The prober readmits it once it answers again.
+// that refuses or resets mid-request — or, with the client still live,
+// one that exceeded the attempt deadline — means the replica is broken
+// right now, so it leaves the ring immediately instead of waiting out
+// the probe threshold. The prober readmits it once it answers again.
 func (f *Fleet) noteTransportFailure(base string, err error) {
 	r, ok := f.replicas[base]
 	if !ok {
@@ -111,12 +141,13 @@ func (f *Fleet) drain(base string) {
 }
 
 // undrain releases an admin hold; the replica rejoins the ring at once
-// when healthy (otherwise the prober readmits it on its next success).
+// when healthy and not soft-drained (otherwise the prober readmits it on
+// its next success or once its shed window clears).
 func (f *Fleet) undrain(base string) {
 	r := f.replicas[base]
 	r.mu.Lock()
 	r.draining = false
-	if r.healthy {
+	if r.healthy && !r.shedded {
 		f.ring.Add(base)
 	}
 	r.mu.Unlock()

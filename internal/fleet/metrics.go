@@ -20,14 +20,21 @@ var rekeyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 // fleetMetrics holds the router's own instruments (the replicas' series
 // are scraped, not mirrored — see handleMetrics).
 type fleetMetrics struct {
-	requests      *obs.CounterVec // by matched route pattern
-	failovers     *obs.Counter    // transport-error failover replays
-	shedFailovers *obs.Counter    // 429-shed failover replays
-	retries       *obs.Counter    // all failover replays
-	probeFailures *obs.CounterVec // by replica host
-	ejections     *obs.CounterVec // by replica host
-	scrapeErrors  *obs.CounterVec // by replica host
-	rekeySeconds  *obs.Histogram
+	requests          *obs.CounterVec // by matched route pattern
+	failovers         *obs.Counter    // transport-error failover replays
+	shedFailovers     *obs.Counter    // 429-shed failover replays
+	errFailovers      *obs.Counter    // 5xx-verdict failover replays
+	retries           *obs.Counter    // all failover replays
+	panicRoutes       *obs.Counter    // empty-ring requests routed to all replicas
+	attemptTimeouts   *obs.CounterVec // by replica host: slow-replica verdicts
+	softDrains        *obs.CounterVec // by replica host: shed-rate soft drains
+	shedReadmits      *obs.CounterVec // by replica host: soft-drain readmissions
+	reconcileRepairs  *obs.CounterVec // by replica host: model-set drift repairs
+	reconcileFailures *obs.CounterVec // by replica host: failed drift repairs
+	probeFailures     *obs.CounterVec // by replica host
+	ejections         *obs.CounterVec // by replica host
+	scrapeErrors      *obs.CounterVec // by replica host
+	rekeySeconds      *obs.Histogram
 }
 
 // initMetrics registers the router's families on reg and binds the
@@ -35,16 +42,24 @@ type fleetMetrics struct {
 // is built.
 func (f *Fleet) initMetrics(reg *obs.Registry) {
 	f.met = &fleetMetrics{
-		requests:      reg.Counter("radar_fleet_requests_total", "Requests handled by the fleet router.", "route"),
-		failovers:     reg.Counter("radar_fleet_failovers_total", "Sync requests replayed on another owner after a transport failure.").With(),
-		shedFailovers: reg.Counter("radar_fleet_shed_failover_total", "Sync requests replayed on another owner after a 429 queue-full shed.").With(),
-		retries:       reg.Counter("radar_fleet_retries_total", "All failover replays (transport plus shed).").With(),
-		probeFailures: reg.Counter("radar_fleet_probe_failures_total", "Failed health probes.", "replica"),
-		ejections:     reg.Counter("radar_fleet_replica_ejections_total", "Healthy-to-ejected transitions.", "replica"),
-		scrapeErrors:  reg.Counter("radar_fleet_scrape_errors_total", "Failed replica scrapes during aggregated /v1/metrics.", "replica"),
-		rekeySeconds:  reg.Histogram("radar_fleet_rekey_seconds", "Wall time of whole rolling rekeys.", rekeyBuckets).With(),
+		requests:          reg.Counter("radar_fleet_requests_total", "Requests handled by the fleet router.", "route"),
+		failovers:         reg.Counter("radar_fleet_failovers_total", "Sync requests replayed on another owner after a transport failure.").With(),
+		shedFailovers:     reg.Counter("radar_fleet_shed_failover_total", "Sync requests replayed on another owner after a 429 queue-full shed.").With(),
+		errFailovers:      reg.Counter("radar_fleet_err_failovers_total", "Sync requests replayed on another owner after a 5xx verdict.").With(),
+		retries:           reg.Counter("radar_fleet_retries_total", "All failover replays (transport, shed, 5xx).").With(),
+		panicRoutes:       reg.Counter("radar_fleet_panic_routes_total", "Requests routed to all configured replicas because ejections emptied the ring.").With(),
+		attemptTimeouts:   reg.Counter("radar_fleet_attempt_timeouts_total", "Proxied attempts that exceeded AttemptTimeout while the client was still live — slow-replica verdicts.", "replica"),
+		softDrains:        reg.Counter("radar_fleet_soft_drains_total", "Replicas weighted out of new sync traffic for a persistently high shed/error rate.", "replica"),
+		shedReadmits:      reg.Counter("radar_fleet_shed_readmits_total", "Soft-drained replicas readmitted after their shed window cleared.", "replica"),
+		reconcileRepairs:  reg.Counter("radar_fleet_reconcile_repairs_total", "Hosted-model drift repairs applied to readmitted replicas.", "replica"),
+		reconcileFailures: reg.Counter("radar_fleet_reconcile_failures_total", "Hosted-model drift repairs that failed (retried at the next readmission).", "replica"),
+		probeFailures:     reg.Counter("radar_fleet_probe_failures_total", "Failed health probes.", "replica"),
+		ejections:         reg.Counter("radar_fleet_replica_ejections_total", "Healthy-to-ejected transitions.", "replica"),
+		scrapeErrors:      reg.Counter("radar_fleet_scrape_errors_total", "Failed replica scrapes during aggregated /v1/metrics.", "replica"),
+		rekeySeconds:      reg.Histogram("radar_fleet_rekey_seconds", "Wall time of whole rolling rekeys.", rekeyBuckets).With(),
 	}
 	up := reg.Gauge("radar_fleet_replica_up", "1 while the replica is in the routing ring.", "replica")
+	shedRate := reg.Gauge("radar_fleet_replica_shed_rate", "Bad-outcome fraction (429s, attempt timeouts, 5xx) over the replica's sliding shed window.", "replica")
 	for _, base := range f.order {
 		r := f.replicas[base]
 		url := r.url
@@ -53,6 +68,11 @@ func (f *Fleet) initMetrics(reg *obs.Registry) {
 				return 1
 			}
 			return 0
+		}, r.host)
+		win := r.window
+		shedRate.Func(func() float64 {
+			rate, _ := win.rate()
+			return rate
 		}, r.host)
 	}
 	reg.Gauge("radar_fleet_sticky_jobs", "Async jobs currently pinned to their minting replica.").

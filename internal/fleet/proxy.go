@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"time"
 
 	"radar/internal/obs"
 	"radar/internal/serve"
@@ -64,31 +66,108 @@ func (f *Fleet) Handler() http.Handler {
 	})
 }
 
-// readBody buffers the request body so it can be replayed on failover.
-func readBody(r *http.Request) ([]byte, error) {
+// readBody buffers the request body so it can be replayed on failover,
+// capped at Config.MaxBodyBytes — an unbounded client body would be held
+// in router memory for the whole retry loop. On overflow the client gets
+// 413 and the handler must return; other read errors answer 400.
+func (f *Fleet) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	defer r.Body.Close()
-	return io.ReadAll(r.Body)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("fleet: request body exceeds %d bytes", f.cfg.MaxBodyBytes),
+				http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return body, true
 }
 
 // clientGone reports whether a client.Do failure was caused by the
 // inbound request's own context — the client hung up or timed out — not
-// by the replica. The proxied request runs under r.Context(), so such
-// failures say nothing about replica health: they must not eject it, and
-// replaying against another owner would fail with the same dead context.
+// by the replica. Such failures say nothing about replica health: they
+// must not eject it, and replaying against another owner would fail with
+// the same dead context. An attempt-deadline expiry is NOT client-gone:
+// the client is still waiting, the replica is just too slow.
 func clientGone(r *http.Request, err error) bool {
-	return r.Context().Err() != nil ||
-		errors.Is(err, context.Canceled) ||
-		errors.Is(err, context.DeadlineExceeded)
+	return r.Context().Err() != nil || errors.Is(err, context.Canceled)
 }
 
-// send replays one buffered request against a replica. A genuine
-// transport error (dial refused, connection reset) ejects the replica
-// immediately and is returned for the caller's failover decision; a
-// failure the client itself caused (see clientGone) leaves the replica's
-// health untouched. Any HTTP response — success or error status — is a
-// backend verdict and is returned as-is.
+// attemptTimedOut reports whether the failure was the per-attempt
+// deadline expiring while the client's own context was still live — the
+// signature of a gray failure: the replica accepted the connection and
+// then stalled.
+func attemptTimedOut(r *http.Request, err error) bool {
+	return r.Context().Err() == nil && errors.Is(err, context.DeadlineExceeded)
+}
+
+// cancelBody ties a per-attempt context to the response body's lifetime:
+// the attempt deadline covers headers and body, and the context is
+// released when the caller finishes reading.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// send replays one buffered request against a replica under
+// min(client deadline, AttemptTimeout). A genuine transport error (dial
+// refused, connection reset) ejects the replica immediately; an attempt
+// timeout with the client still live is the same verdict with a "slow"
+// cause — both are returned for the caller's failover decision and
+// recorded against the replica's shed window. A failure the client
+// itself caused (see clientGone) leaves the replica untouched. Any HTTP
+// response — success or error status — is a backend verdict returned
+// as-is; its body read stays bounded by the attempt deadline.
 func (f *Fleet) send(r *http.Request, base, path string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+path, bytes.NewReader(body))
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if f.cfg.AttemptTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
+	}
+	resp, err := f.sendCtx(ctx, r, base, path, body)
+	if err != nil {
+		cancel()
+		switch {
+		case clientGone(r, err):
+			// Nobody is reading the answer; not a replica verdict.
+		case attemptTimedOut(r, err):
+			f.met.attemptTimeouts.With(f.hostOf(base)).Inc()
+			f.recordOutcome(base, true)
+			f.noteTransportFailure(base, fmt.Errorf("slow: attempt exceeded %v: %w", f.cfg.AttemptTimeout, err))
+		default:
+			f.recordOutcome(base, true)
+			f.noteTransportFailure(base, err)
+		}
+		return nil, err
+	}
+	resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// sendSlow is send without the attempt deadline — the admin plane's
+// variant. Scrubs and rekeys legitimately run for as long as the model is
+// large; only the client's own deadline bounds them.
+func (f *Fleet) sendSlow(r *http.Request, base, path string, body []byte) (*http.Response, error) {
+	resp, err := f.sendCtx(r.Context(), r, base, path, body)
+	if err != nil && !clientGone(r, err) {
+		f.noteTransportFailure(base, err)
+	}
+	return resp, err
+}
+
+// sendCtx issues one proxied request under ctx, copying the relevant
+// inbound headers.
+func (f *Fleet) sendCtx(ctx context.Context, r *http.Request, base, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +177,74 @@ func (f *Fleet) send(r *http.Request, base, path string, body []byte) (*http.Res
 	if id := r.Header.Get(serve.RequestIDHeader); id != "" {
 		req.Header.Set(serve.RequestIDHeader, id)
 	}
-	resp, err := f.client.Do(req)
-	if err != nil {
-		if !clientGone(r, err) {
-			f.noteTransportFailure(base, err)
-		}
-		return nil, err
+	return f.client.Do(req)
+}
+
+// hostOf maps a replica base URL to its host:port metric label.
+func (f *Fleet) hostOf(base string) string {
+	if r, ok := f.replicas[base]; ok {
+		return r.host
 	}
-	return resp, nil
+	return base
+}
+
+// backoff sleeps the full-jitter exponential backoff for replay n
+// (0-based): rand(0, min(BackoffMax, BackoffBase<<n)). Returns false if
+// the client's context died during the wait — the failover loop should
+// stop, nobody is listening.
+func (f *Fleet) backoff(r *http.Request, n int) bool {
+	ceil := f.cfg.BackoffBase << n
+	if ceil > f.cfg.BackoffMax || ceil <= 0 {
+		ceil = f.cfg.BackoffMax
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if d == 0 {
+		return r.Context().Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// heldResponse is a backend verdict drained into memory so the failover
+// loop can keep trying other owners and still relay the original verdict
+// if every candidate fails the same way. Draining matters: a live
+// response body dies with its attempt context, which may expire while
+// later attempts run.
+type heldResponse struct {
+	status     int
+	contentTyp string
+	retryAfter string
+	body       []byte
+}
+
+// holdResponse drains up to 64 KiB of a response into a heldResponse and
+// closes it.
+func holdResponse(resp *http.Response) *heldResponse {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	return &heldResponse{
+		status:     resp.StatusCode,
+		contentTyp: resp.Header.Get("Content-Type"),
+		retryAfter: resp.Header.Get("Retry-After"),
+		body:       body,
+	}
+}
+
+func (h *heldResponse) relay(w http.ResponseWriter) {
+	if h.contentTyp != "" {
+		w.Header().Set("Content-Type", h.contentTyp)
+	}
+	if h.retryAfter != "" {
+		w.Header().Set("Retry-After", h.retryAfter)
+	}
+	w.WriteHeader(h.status)
+	w.Write(h.body)
 }
 
 // relay copies a backend response to the client verbatim.
@@ -120,38 +259,88 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 	io.Copy(w, resp.Body)
 }
 
+// failoverOwners returns a request's candidate replicas: the ring's
+// distinct-owner order for the key, truncated to the retry budget (the
+// first owner plus at most RetryBudget replays). When ejections leave
+// the ring too thin to fill that budget, off-ring replicas pad the list
+// as last-resort backstops — panic routing. An ejected replica is a
+// health *estimate*, and when the estimate says most of the fleet is
+// dead it is more likely lagging a burst of gray-failure verdicts than
+// right; attempting anyway converts a guaranteed failure into a likely
+// success, and a replica that really is down just fails its bounded
+// attempt like any other failover. Admin-drained replicas are never
+// candidates (they are mid-rekey on purpose); soft-drained ones are —
+// overloaded beats unavailable.
+func (f *Fleet) failoverOwners(key string) []string {
+	max := f.cfg.RetryBudget + 1
+	owners := f.ring.Owners(key, len(f.replicas))
+	if len(owners) > max {
+		return owners[:max]
+	}
+	if len(owners) == len(f.replicas) {
+		return owners
+	}
+	if len(owners) == 0 {
+		f.met.panicRoutes.Inc()
+	}
+	inRing := make(map[string]bool, len(owners))
+	for _, base := range owners {
+		inRing[base] = true
+	}
+	for _, base := range f.order {
+		if len(owners) >= max {
+			break
+		}
+		if inRing[base] {
+			continue
+		}
+		r := f.replicas[base]
+		r.mu.Lock()
+		held := r.draining
+		r.mu.Unlock()
+		if !held {
+			owners = append(owners, base)
+		}
+	}
+	return owners
+}
+
 // handleInfer routes a sync inference by its model's ring owner. Sync
-// inference is idempotent (pure read of the weight image), so a replica
-// that fails at the transport level is ejected and the request replays
-// against the next distinct owner — and a replica that sheds with 429
-// (its bounded queue is full) keeps its ring slot but the request also
-// moves on to the next owner, spreading the overload instead of bouncing
-// it back to the client. Only when every candidate is down does the
-// client see 502; when every candidate shed, the client gets the final
-// 429 with its Retry-After.
+// inference is idempotent (pure read of the weight image), so failover is
+// always safe, and three verdicts move the request to the next distinct
+// owner within the retry budget, with full-jitter backoff between
+// attempts:
+//
+//   - a transport failure or attempt timeout — the replica is ejected
+//     (the timeout as a "slow" verdict) and the request replays;
+//   - a 429 queue-full shed — the replica keeps its ring slot but the
+//     request spreads to the next owner;
+//   - a 5xx — a gray verdict (chaos faults, mid-crash errors); the
+//     request replays and the outcome feeds the soft-drain window.
+//
+// The first held verdict is relayed only when every candidate failed;
+// only when every candidate is down at the transport level does the
+// client see 502.
 func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 	model := r.PathValue("model")
-	body, err := readBody(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := f.readBody(w, r)
+	if !ok {
 		return
 	}
-	owners := f.ring.Owners(model, len(f.replicas))
+	owners := f.failoverOwners(model)
 	if len(owners) == 0 {
 		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
 		return
 	}
 	var lastErr error
-	var shedResp *http.Response
+	var held *heldResponse
 	for i, base := range owners {
+		if i > 0 && !f.backoff(r, i-1) {
+			return
+		}
 		resp, err := f.send(r, base, r.URL.Path, body)
 		if err != nil {
 			if clientGone(r, err) {
-				// Nobody is reading the answer, and the remaining owners
-				// would fail with the same dead context.
-				if shedResp != nil {
-					shedResp.Body.Close()
-				}
 				return
 			}
 			lastErr = err
@@ -161,25 +350,30 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		if resp.StatusCode == http.StatusTooManyRequests && i < len(owners)-1 {
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests && i < len(owners)-1:
 			// Queue-full shed: hold the verdict in case everyone sheds,
-			// then try the next owner.
-			if shedResp != nil {
-				shedResp.Body.Close()
-			}
-			shedResp = resp
+			// then spread to the next owner.
+			held = holdResponse(resp)
+			f.recordOutcome(base, true)
 			f.met.shedFailovers.Inc()
 			f.met.retries.Inc()
 			continue
+		case resp.StatusCode >= http.StatusInternalServerError && i < len(owners)-1:
+			// 5xx: a gray backend verdict — retry elsewhere, remember it.
+			held = holdResponse(resp)
+			f.recordOutcome(base, true)
+			f.met.errFailovers.Inc()
+			f.met.retries.Inc()
+			continue
 		}
-		if shedResp != nil {
-			shedResp.Body.Close()
-		}
+		f.recordOutcome(base, resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode >= http.StatusInternalServerError)
 		relay(w, resp)
 		return
 	}
-	if shedResp != nil {
-		relay(w, shedResp)
+	if held != nil {
+		held.relay(w)
 		return
 	}
 	http.Error(w, fmt.Sprintf("fleet: all candidate replicas failed: %v", lastErr),
@@ -188,26 +382,60 @@ func (f *Fleet) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 // handleSubmitJob routes an async submit by ring owner and pins the
 // accepted job to the replica that minted its ID. Submission is not
-// idempotent (an accepted job holds a table slot), so there is no
-// failover replay — a transport error answers 502 and the client
-// resubmits.
+// idempotent in general — an accepted job holds a table slot — so a
+// transport error or attempt timeout answers 502 and the client
+// resubmits (the job may or may not have been accepted; only the client
+// can decide to retry). A 429 queue-full shed is the one provably-safe
+// failover: the replica answered without taking a slot, so the submit
+// moves to the next ring owner like a shed sync infer.
 func (f *Fleet) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	model := r.PathValue("model")
-	body, err := readBody(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := f.readBody(w, r)
+	if !ok {
 		return
 	}
-	base := f.ring.Lookup(model)
-	if base == "" {
+	owners := f.failoverOwners(model)
+	if len(owners) == 0 {
 		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
 		return
 	}
-	resp, err := f.send(r, base, r.URL.Path, body)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("fleet: replica %s: %v", base, err), http.StatusBadGateway)
+	var held *heldResponse
+	for i, base := range owners {
+		if i > 0 && !f.backoff(r, i-1) {
+			return
+		}
+		resp, err := f.send(r, base, r.URL.Path, body)
+		if err != nil {
+			if clientGone(r, err) {
+				return
+			}
+			// Ambiguous: the job may hold a slot on the replica. No replay.
+			http.Error(w, fmt.Sprintf("fleet: replica %s: %v", base, err), http.StatusBadGateway)
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && i < len(owners)-1 {
+			held = holdResponse(resp)
+			f.recordOutcome(base, true)
+			f.met.shedFailovers.Inc()
+			f.met.retries.Inc()
+			continue
+		}
+		f.recordOutcome(base, resp.StatusCode == http.StatusTooManyRequests)
+		f.relaySubmit(w, resp, base)
 		return
 	}
+	// Unreachable unless the loop was exhausted by sheds (the last owner
+	// never continues), but keep the verdict path total.
+	if held != nil {
+		held.relay(w)
+		return
+	}
+	http.Error(w, "fleet: no candidate accepted the submit", http.StatusServiceUnavailable)
+}
+
+// relaySubmit relays a submit verdict, pinning an accepted job to the
+// replica that minted it.
+func (f *Fleet) relaySubmit(w http.ResponseWriter, resp *http.Response, base string) {
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -231,7 +459,9 @@ func (f *Fleet) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 
 // handleJob answers polls and cancels through the sticky job map: only
 // the replica that minted an ID can answer for it. A terminal DELETE (or
-// a 404 from the backend — the job expired) drops the pin.
+// a 404 from the backend — the job expired) drops the pin. Soft-drained
+// replicas stay reachable here — the pin routes by base URL, not by the
+// ring.
 func (f *Fleet) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := f.jobs.Load(id)
@@ -244,9 +474,10 @@ func (f *Fleet) handleJob(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Drop the pin only when the replica itself failed — it is gone
 		// and the job with it. A poll the client abandoned says nothing
-		// about the job, which is still alive on the replica and must
-		// stay reachable for the next poll.
-		if !clientGone(r, err) {
+		// about the job; neither does an attempt timeout (the replica is
+		// slow, not gone, and the job may finish once it recovers) — in
+		// both cases the pin stays so the next poll can reach it.
+		if !clientGone(r, err) && !attemptTimedOut(r, err) {
 			f.jobs.Delete(id)
 		}
 		http.Error(w, fmt.Sprintf("fleet: replica %s lost with job %s: %v", base, id, err),
@@ -331,16 +562,21 @@ func (f *Fleet) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleModel routes one model's info request by ring owner, with the
-// same idempotent failover as sync inference.
+// same idempotent failover as sync inference (transport errors, attempt
+// timeouts and 5xx all move to the next owner).
 func (f *Fleet) handleModel(w http.ResponseWriter, r *http.Request) {
 	model := r.PathValue("model")
-	owners := f.ring.Owners(model, len(f.replicas))
+	owners := f.failoverOwners(model)
 	if len(owners) == 0 {
 		http.Error(w, "fleet: no healthy replicas", http.StatusServiceUnavailable)
 		return
 	}
 	var lastErr error
-	for _, base := range owners {
+	var held *heldResponse
+	for i, base := range owners {
+		if i > 0 && !f.backoff(r, i-1) {
+			return
+		}
 		resp, err := f.send(r, base, r.URL.Path, nil)
 		if err != nil {
 			if clientGone(r, err) {
@@ -349,7 +585,15 @@ func (f *Fleet) handleModel(w http.ResponseWriter, r *http.Request) {
 			lastErr = err
 			continue
 		}
+		if resp.StatusCode >= http.StatusInternalServerError && i < len(owners)-1 {
+			held = holdResponse(resp)
+			continue
+		}
 		relay(w, resp)
+		return
+	}
+	if held != nil {
+		held.relay(w)
 		return
 	}
 	http.Error(w, fmt.Sprintf("fleet: all candidate replicas failed: %v", lastErr),
