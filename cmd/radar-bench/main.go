@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale|fleetscale] [-scale quick|full] [-json path]
-//	radar-bench -gate -baseline DIR -fresh DIR [-max-drop 10]
+//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale|fleetscale|bigscale] [-scale quick|full] [-json path]
+//	radar-bench -gate -baseline DIR -fresh DIR [-fresh DIR ...] [-max-drop 10]
 //
 // The scanscale experiment sweeps the parallel scan engine's worker pool
 // (1/2/4/GOMAXPROCS) over a full-scale ResNet-18 weight image and reports
@@ -16,25 +16,43 @@
 // adversary with the scrubber and verified weight-fetch toggled. The
 // fleetscale experiment boots three full services behind the radar-fleet
 // consistent-hash router and measures routed throughput and availability
-// through a mid-traffic replica kill and a rolling rekey. All three write
+// through a mid-traffic replica kill and a rolling rekey. The bigscale
+// experiment streams the full protect→scan→inject→recover pipeline over a
+// synthetic mmap-backed store checkpoint (2 GiB at -scale full, 256 MiB at
+// quick), reporting throughput, incremental-scan latency, and the peak-RSS
+// to checkpoint-size ratio of the streaming reader. All four write
 // machine-readable JSON artifacts — BENCH_scanscale.json,
-// BENCH_servescale.json, BENCH_fleetscale.json — to per-experiment default
-// paths, or to the -json path when set explicitly (meaningful only when
-// running a single JSON-capable experiment).
+// BENCH_servescale.json, BENCH_fleetscale.json, BENCH_bigscale.json — to
+// per-experiment default paths, or to the -json path when set explicitly
+// (meaningful only when running a single JSON-capable experiment).
 //
 // -gate compares the artifacts in -fresh against the committed baselines
 // in -baseline and exits 1 when any tracked higher-is-better metric
 // dropped more than -max-drop percent — the CI perf-regression gate.
+// -fresh repeats: with several fresh directories (one per regeneration
+// run) each metric is judged on its median across runs, so a single noisy
+// run on a loaded CI host cannot flake the gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"radar/internal/exp"
 )
+
+// dirList collects a repeatable -fresh flag into a slice.
+type dirList []string
+
+func (d *dirList) String() string { return strings.Join(*d, ",") }
+
+func (d *dirList) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
 
 func main() {
 	which := flag.String("exp", "all", "experiment id (see DESIGN.md per-experiment index)")
@@ -42,16 +60,17 @@ func main() {
 	jsonPath := flag.String("json", "", "output path for machine-readable results of JSON-capable experiments (scanscale, servescale, fleetscale); default BENCH_<exp>.json per experiment")
 	gate := flag.Bool("gate", false, "perf-regression gate: compare -fresh artifacts against -baseline and exit 1 on regression")
 	baselineDir := flag.String("baseline", ".", "gate: directory holding the committed baseline BENCH_*.json artifacts")
-	freshDir := flag.String("fresh", "", "gate: directory holding freshly generated BENCH_*.json artifacts")
+	var freshDirs dirList
+	flag.Var(&freshDirs, "fresh", "gate: directory holding freshly generated BENCH_*.json artifacts (repeatable; with several, each metric is gated on its median across runs)")
 	maxDrop := flag.Float64("max-drop", 10, "gate: tolerated drop in percent before a metric fails")
 	flag.Parse()
 
 	if *gate {
-		if *freshDir == "" {
-			fmt.Fprintln(os.Stderr, "-gate requires -fresh DIR")
+		if len(freshDirs) == 0 {
+			fmt.Fprintln(os.Stderr, "-gate requires at least one -fresh DIR")
 			os.Exit(2)
 		}
-		res, err := exp.GateArtifacts(*baselineDir, *freshDir, *maxDrop)
+		res, err := exp.GateArtifacts(*baselineDir, freshDirs, *maxDrop)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gate: %v\n", err)
 			os.Exit(2)
@@ -120,6 +139,15 @@ func main() {
 		{"fleetscale", func() string {
 			r := exp.FleetScaling()
 			writeJSON(artifactPath(*jsonPath, "fleetscale"), r.WriteJSON)
+			return r.Render()
+		}},
+		{"bigscale", func() string {
+			size := int64(2) << 30 // full: a 2 GiB synthetic checkpoint
+			if *scale == "quick" {
+				size = 256 << 20 // CI-sized capped run
+			}
+			r := exp.BigScale(size)
+			writeJSON(artifactPath(*jsonPath, "bigscale"), r.WriteJSON)
 			return r.Render()
 		}},
 	}

@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	radar-protect [-model resnet20s] [-g 8] [-flips 10] [-no-interleave] [-sig 2] [-workers 0]
+//	radar-protect [-model resnet20s] [-g 8] [-flips 10] [-no-interleave] [-sig 2] [-workers 0] [-store PATH]
 //
 // -workers sizes the parallel scan engine's pool (0 = one per CPU); the
 // flagged output is identical for every setting.
+//
+// -store PATH rebinds the victim's quantized weights to an mmap-backed
+// store checkpoint at PATH before protecting: on first use the gob-trained
+// weights are converted to the store format, afterwards the file itself is
+// the protected DRAM image — the attack flips bits in the mapped file's
+// page cache, and recovery's zeroing is made durable with msync before
+// exit, so a rerun against the same -store starts from the recovered
+// image.
 package main
 
 import (
@@ -30,6 +38,7 @@ func main() {
 	sig := flag.Int("sig", 2, "signature bits (2 or 3)")
 	seed := flag.Int64("seed", 1, "seed for attack batch and secrets")
 	workers := flag.Int("workers", 0, "scan worker pool size (0 = one per CPU)")
+	storePath := flag.String("store", "", "mmap-backed store checkpoint path (converted from the gob checkpoint on first use; empty = in-RAM weights)")
 	flag.Parse()
 
 	var spec model.Spec
@@ -49,8 +58,30 @@ func main() {
 	cfg.NumFlips = *flips
 	profile := attack.PBFA(atk.QModel, atk.Attack, cfg)
 
-	// Victim: protected model whose DRAM the attacker hammers.
+	// Victim: protected model whose DRAM the attacker hammers. With
+	// -store, that DRAM image is the mapped checkpoint file.
 	victim := model.Load(spec)
+	if *storePath != "" {
+		ckpt, err := model.MapCheckpoint(victim, *storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "map store checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		mode := "mmap"
+		if !ckpt.Mapped() {
+			mode = "in-RAM fallback"
+		}
+		fmt.Printf("weights bound to store checkpoint %s (%.1f MB, %s)\n",
+			*storePath, float64(ckpt.WeightBytes())/1e6, mode)
+		defer func() {
+			// Recovery zeroing marked its layers dirty through the model
+			// observer; make it durable before exit.
+			if err := ckpt.SyncDirty(); err != nil {
+				fmt.Fprintf(os.Stderr, "sync store checkpoint: %v\n", err)
+			}
+			ckpt.Close()
+		}()
+	}
 	clean := model.Evaluate(victim.Net, victim.Test, 100)
 	pcfg := core.Config{G: *g, Interleave: !*noInter, SigBits: *sig, Seed: *seed, Workers: *workers}
 	prot := core.Protect(victim.QModel, pcfg)

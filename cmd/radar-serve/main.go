@@ -11,11 +11,19 @@
 //	            [-addr :8080] [-g 8] [-batch 8] [-batch-latency 2ms]
 //	            [-workers N] [-queue 256] [-verify] [-scrub 100ms]
 //	            [-scrub-full-every 8] [-scan-workers N] [-jobs 1024]
+//	            [-store-dir DIR] [-store-sync 1s]
 //	            [-debug-addr :6060] [-log-requests]
 //
 // -model is repeatable; "name=zoo" serves zoo model zoo under name, and a
 // bare "zoo" uses the zoo name itself. The tuning flags apply to every
 // model (each still gets its own independent queue, workers and scrubber).
+//
+// -store-dir DIR serves every model from an mmap-backed store checkpoint
+// DIR/<name>.radar (converted from the trained gob weights on first use):
+// the mapped file is the protected DRAM image, a background flusher makes
+// scrubber recoveries durable with msync every -store-sync, and shutdown
+// syncs and closes every checkpoint, so a restart resumes from the last
+// recovered image instead of the original training output.
 //
 // Endpoints (see the README "Serving" section for curl examples):
 //
@@ -45,7 +53,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +64,7 @@ import (
 	"radar/internal/obs"
 	"radar/internal/qinfer"
 	"radar/internal/serve"
+	"radar/internal/store"
 )
 
 // modelFlag collects repeatable -model values ("zoo" or "name=zoo").
@@ -80,6 +91,8 @@ func main() {
 		scrubFull = flag.Int("scrub-full-every", 8, "every Nth scrub cycle is a full scan")
 		scanWk    = flag.Int("scan-workers", 0, "scan engine worker pool per model (0 = one per CPU)")
 		jobs      = flag.Int("jobs", serve.DefaultJobCapacity, "async job table capacity")
+		storeDir  = flag.String("store-dir", "", "directory of mmap-backed store checkpoints, one <name>.radar per served model (empty = in-RAM weights)")
+		storeSync = flag.Duration("store-sync", time.Second, "store checkpoint dirty-section flush interval (with -store-dir; 0 disables the background flusher)")
 		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty disables)")
 		logReqs   = flag.Bool("log-requests", false, "log every HTTP request (id, method, path, status, duration) via slog")
 	)
@@ -100,15 +113,48 @@ func main() {
 		return model.Spec{}, false
 	}
 
+	// checkpoints tracks every store checkpoint opened for a served model,
+	// keyed by serve name; the background flusher and the shutdown path
+	// iterate it. Guarded by ckptMu (hot-add runs on request goroutines).
+	var (
+		ckptMu      sync.Mutex
+		checkpoints = map[string]*store.Checkpoint{}
+	)
+
 	// buildModel compiles one zoo model into an engine + protector pair
 	// under the process-wide tuning flags — shared by startup registration
-	// and the hot-add admin route.
-	buildModel := func(zoo string) (*qinfer.Engine, *core.Protector, serve.Config, error) {
+	// and the hot-add admin route. With -store-dir the bundle's weights
+	// are first rebound to the mapped checkpoint DIR/<name>.radar, so the
+	// engine and protector are wired to the file-backed image.
+	buildModel := func(name, zoo string) (*qinfer.Engine, *core.Protector, serve.Config, error) {
 		spec, ok := specOf(zoo)
 		if !ok {
 			return nil, nil, serve.Config{}, fmt.Errorf("unknown zoo model %q", zoo)
 		}
 		bundle := model.Load(spec)
+		if *storeDir != "" {
+			path := filepath.Join(*storeDir, name+".radar")
+			if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+				return nil, nil, serve.Config{}, fmt.Errorf("store dir: %w", err)
+			}
+			ckpt, err := model.MapCheckpoint(bundle, path)
+			if err != nil {
+				return nil, nil, serve.Config{}, fmt.Errorf("map store checkpoint for %q: %w", name, err)
+			}
+			mode := "mmap"
+			if !ckpt.Mapped() {
+				mode = "in-RAM fallback"
+			}
+			log.Printf("model %q weights bound to %s (%.1f MB, %s)", name, path,
+				float64(ckpt.WeightBytes())/1e6, mode)
+			ckptMu.Lock()
+			if old := checkpoints[name]; old != nil {
+				old.Sync()
+				old.Close()
+			}
+			checkpoints[name] = ckpt
+			ckptMu.Unlock()
+		}
 		calib, _ := bundle.Attack.Batch(0, 64)
 		eng, err := qinfer.Compile(bundle.Net, bundle.QModel, calib)
 		if err != nil {
@@ -133,7 +179,7 @@ func main() {
 	// source string is a zoo model name, built with the same tuning as the
 	// startup -model registrations.
 	provider := func(name, source string) (*qinfer.Engine, *core.Protector, []serve.ModelOption, error) {
-		eng, prot, cfg, err := buildModel(source)
+		eng, prot, cfg, err := buildModel(name, source)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -161,7 +207,7 @@ func main() {
 			os.Exit(2)
 		}
 		log.Printf("loading %s as %q (training on first use; cached under testdata/models)", spec.Name, name)
-		eng, prot, cfg, err := buildModel(zoo)
+		eng, prot, cfg, err := buildModel(name, zoo)
 		if err != nil {
 			log.Fatalf("%v", err)
 		}
@@ -175,6 +221,37 @@ func main() {
 	svc, err := serve.Open(opts...)
 	if err != nil {
 		log.Fatalf("open service: %v", err)
+	}
+
+	// Background flusher: periodically msync the sections recovery (or any
+	// other model-API write) dirtied, bounding how much repaired state a
+	// crash can lose. Stopped before the final sync at shutdown.
+	flusherDone := make(chan struct{})
+	stopFlusher := func() {}
+	if *storeDir != "" && *storeSync > 0 {
+		stop := make(chan struct{})
+		stopFlusher = func() { close(stop); <-flusherDone }
+		go func() {
+			defer close(flusherDone)
+			ticker := time.NewTicker(*storeSync)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					ckptMu.Lock()
+					for name, c := range checkpoints {
+						if err := c.SyncDirty(); err != nil {
+							log.Printf("store flush %q: %v", name, err)
+						}
+					}
+					ckptMu.Unlock()
+				}
+			}
+		}()
+	} else {
+		close(flusherDone)
 	}
 
 	var handler http.Handler = svc.Handler()
@@ -213,6 +290,17 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	svc.Close()
+	// Scrubbers are stopped: make the final weight image durable and
+	// release the mappings.
+	stopFlusher()
+	ckptMu.Lock()
+	for name, c := range checkpoints {
+		if err := c.Sync(); err != nil {
+			log.Printf("store sync %q: %v", name, err)
+		}
+		c.Close()
+	}
+	ckptMu.Unlock()
 	for _, info := range svc.Models() {
 		m := info.Metrics
 		log.Printf("model %q: served %d requests in %d batches; scrub cycles %d; rekeys %d; groups flagged %d, recovered %d",

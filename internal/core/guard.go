@@ -106,6 +106,9 @@ func (p *Protector) VerifyAndRecoverLayer(li int) (flagged []GroupID, zeroed int
 	for _, g := range flagged {
 		zeroed += p.recoverGroupLocked(g)
 	}
+	if zeroed > 0 {
+		p.Model.MarkWritten(li) // zeroing bypassed the model write path
+	}
 	if len(flagged) > 0 {
 		p.stats.groupsRecovered.Add(int64(len(flagged)))
 		p.stats.weightsZeroed.Add(int64(zeroed))
@@ -129,8 +132,18 @@ func (p *Protector) DetectAndRecoverExclusive() (flagged []GroupID, zeroed int) 
 	defer putScratch(sc)
 	sc.shards = p.appendShards(sc.shards)
 	flagged = p.scanShardsLocked(sc.shards, sc)
-	for _, g := range flagged {
-		zeroed += p.recoverGroupLocked(g)
+	for lo := 0; lo < len(flagged); {
+		hi := lo
+		layerZeroed := 0
+		for hi < len(flagged) && flagged[hi].Layer == flagged[lo].Layer {
+			layerZeroed += p.recoverGroupLocked(flagged[hi])
+			hi++
+		}
+		if layerZeroed > 0 {
+			p.Model.MarkWritten(flagged[lo].Layer) // zeroing bypassed the model write path
+		}
+		zeroed += layerZeroed
+		lo = hi
 	}
 	if len(flagged) > 0 {
 		p.stats.groupsRecovered.Add(int64(len(flagged)))

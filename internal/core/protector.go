@@ -27,6 +27,15 @@ type Config struct {
 	// selects DefaultShardGroups. Shard geometry never changes results,
 	// only load balance.
 	ShardGroups int
+	// OnLayerScanned, when set, is called with the layer index each time a
+	// scan or protect pass finishes the last shard of that layer — once per
+	// layer per pass, possibly from a worker goroutine, so it must be cheap
+	// and safe for concurrent use. Streaming deployments use it to release
+	// a memory-mapped layer's pages (store.Checkpoint.ReleaseLayer) as soon
+	// as the pass is done with them, which is what bounds resident memory
+	// when protecting checkpoints far larger than RAM. The hook observes
+	// pass progress only; results are identical with or without it.
+	OnLayerScanned func(layer int)
 }
 
 // DefaultConfig returns the paper's standard configuration for a given
@@ -59,6 +68,9 @@ type Protector struct {
 	workers int
 	// shardGroups is the configured shard size (0 = DefaultShardGroups).
 	shardGroups int
+	// onLayerScanned is Config.OnLayerScanned (nil = no per-layer
+	// completion notifications).
+	onLayerScanned func(layer int)
 
 	// mu guards dirty. Write notifications arrive via the model observer
 	// and may race with scans; the flags are the only shared mutable state.
@@ -101,10 +113,11 @@ func newProtector(m *quant.Model, cfg Config) *Protector {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	p := &Protector{
-		Model:       m,
-		workers:     cfg.Workers,
-		shardGroups: cfg.ShardGroups,
-		dirty:       make([]bool, len(m.Layers)),
+		Model:          m,
+		workers:        cfg.Workers,
+		shardGroups:    cfg.ShardGroups,
+		onLayerScanned: cfg.OnLayerScanned,
+		dirty:          make([]bool, len(m.Layers)),
 	}
 	// Secrets are drawn sequentially so the scheme stream depends only on
 	// cfg.Seed, never on worker scheduling.
@@ -296,11 +309,20 @@ func (p *Protector) Recover(flagged []GroupID) int {
 			hi++
 		}
 		li := flagged[lo].Layer
+		layerZeroed := 0
 		p.guard.LockLayer(li)
 		for _, g := range flagged[lo:hi] {
-			zeroed += p.recoverGroupLocked(g)
+			layerZeroed += p.recoverGroupLocked(g)
 		}
 		p.guard.UnlockLayer(li)
+		if layerZeroed > 0 {
+			// Recovery zeroes Layer.Q directly, bypassing the quant.Model
+			// write path; notify the observers so external storage (an
+			// mmap-backed checkpoint scheduling the layer for msync) and
+			// incremental scanners stay sound.
+			p.Model.MarkWritten(li)
+		}
+		zeroed += layerZeroed
 		lo = hi
 	}
 	if len(flagged) > 0 {

@@ -22,10 +22,12 @@ func (p *Protector) RefreshAll() {
 		p.Golden[li] = make([]uint8, p.Schemes[li].NumGroups(len(l.Q)))
 	}
 	sh := p.appendShards(nil)
+	cd := p.shardCountdown(sh)
 	runTasks(p.poolSize(), len(sh), func(k int) {
 		s := sh[k]
 		p.Schemes[s.layer].signaturesInto(p.Golden[s.layer][s.lo:s.hi],
 			p.Model.Layers[s.layer].Q, s.lo, s.hi)
+		cd.shardDone(k)
 	})
 }
 
@@ -41,6 +43,9 @@ func (p *Protector) Rekey(cfg Config) {
 	}
 	if cfg.ShardGroups == 0 {
 		cfg.ShardGroups = p.shardGroups
+	}
+	if cfg.OnLayerScanned == nil {
+		cfg.OnLayerScanned = p.onLayerScanned
 	}
 	p.mu.Unlock()
 	fresh := newProtector(p.Model, cfg)

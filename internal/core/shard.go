@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // DefaultShardGroups is the default number of checksum groups per parallel
 // scan shard. At the paper's ResNet-18 deployment point (G=512) one shard
 // covers ~half a megabyte of weights — big enough to amortize scheduling,
@@ -189,6 +191,7 @@ func (p *Protector) scanShardsLocked(sh []shard, sc *scanScratch) []GroupID {
 
 func (p *Protector) runShards(sh []shard, sc *scanScratch, lock bool) []GroupID {
 	results := sc.resultsBuf(len(sh))
+	cd := p.shardCountdown(sh)
 	if workers := p.poolSize(); workers <= 1 {
 		// Run the loop inline rather than through runTasks: its fan-out
 		// path captures the task closure in goroutines, so a closure
@@ -196,6 +199,7 @@ func (p *Protector) runShards(sh []shard, sc *scanScratch, lock bool) []GroupID 
 		// sequential path runs, breaking the zero-alloc steady state.
 		for k := range sh {
 			results[k] = p.scanShardGuarded(sh[k], lock)
+			cd.shardDone(k)
 		}
 	} else {
 		runTasks(workers, len(sh), func(k int) {
@@ -204,6 +208,7 @@ func (p *Protector) runShards(sh []shard, sc *scanScratch, lock bool) []GroupID 
 				defer p.guard.RUnlockLayer(sh[k].layer)
 			}
 			results[k] = p.scanShard(sh[k])
+			cd.shardDone(k)
 		})
 	}
 	var flagged []GroupID
@@ -214,4 +219,52 @@ func (p *Protector) runShards(sh []shard, sc *scanScratch, lock bool) []GroupID 
 		p.stats.groupsFlagged.Add(int64(len(flagged)))
 	}
 	return flagged
+}
+
+// shardCountdown tracks, for one scan/protect pass, how many shards of
+// each layer are still outstanding, and fires the pass's OnLayerScanned
+// hook when a layer's count reaches zero. A nil countdown (hook unset) is
+// valid and free — shardDone no-ops — so the zero-alloc steady state of
+// hookless scans is preserved.
+type shardCountdown struct {
+	fn     func(layer int)
+	layers []int          // slot → layer index
+	left   []atomic.Int32 // slot → shards outstanding
+	idx    []int          // shard k → slot
+}
+
+// shardCountdown builds the countdown for a shard list (sorted by layer,
+// possibly covering a non-contiguous layer subset, e.g. ScanDirty).
+// Returns nil when no hook is configured.
+func (p *Protector) shardCountdown(sh []shard) *shardCountdown {
+	if p.onLayerScanned == nil || len(sh) == 0 {
+		return nil
+	}
+	c := &shardCountdown{fn: p.onLayerScanned, idx: make([]int, len(sh))}
+	var counts []int32
+	for k, s := range sh {
+		if len(c.layers) == 0 || c.layers[len(c.layers)-1] != s.layer {
+			c.layers = append(c.layers, s.layer)
+			counts = append(counts, 0)
+		}
+		counts[len(counts)-1]++
+		c.idx[k] = len(c.layers) - 1
+	}
+	c.left = make([]atomic.Int32, len(c.layers))
+	for i, n := range counts {
+		c.left[i].Store(n)
+	}
+	return c
+}
+
+// shardDone records completion of shard k, firing the hook if it was the
+// layer's last outstanding shard. Safe on a nil countdown.
+func (c *shardCountdown) shardDone(k int) {
+	if c == nil {
+		return
+	}
+	slot := c.idx[k]
+	if c.left[slot].Add(-1) == 0 {
+		c.fn(c.layers[slot])
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -15,7 +16,12 @@ type GateMetric struct {
 	Artifact string  `json:"artifact"`
 	Metric   string  `json:"metric"`
 	Baseline float64 `json:"baseline"`
-	Fresh    float64 `json:"fresh"`
+	// Fresh is the value the gate judges: the per-metric median across
+	// every fresh run that produced the artifact.
+	Fresh float64 `json:"fresh"`
+	// Samples holds the raw per-run values behind Fresh when the gate saw
+	// more than one fresh run — the noise floor the median absorbed.
+	Samples []float64 `json:"samples,omitempty"`
 	// DeltaPct is (Fresh-Baseline)/Baseline × 100; negative is a slowdown.
 	DeltaPct float64 `json:"delta_pct"`
 	// Regressed marks a drop beyond the gate's tolerance.
@@ -29,6 +35,9 @@ type GateResult struct {
 	// baseline).
 	MaxDropPct float64      `json:"max_drop_pct"`
 	Metrics    []GateMetric `json:"metrics"`
+	// FreshRuns is how many fresh directories fed the gate; with more than
+	// one, each metric compares the baseline against the per-run median.
+	FreshRuns int `json:"fresh_runs"`
 	// Regressed is true when any metric dropped beyond tolerance.
 	Regressed bool `json:"regressed"`
 	// Skipped lists artifacts present in only one directory (a brand-new
@@ -108,39 +117,78 @@ func extractMetrics(dir, artifact string) ([]GateMetric, error) {
 	return metrics, nil
 }
 
-// GateArtifacts compares the BENCH artifacts in freshDir against the
+// median returns the middle value of vals (mean of the two middles for an
+// even count). vals is not modified.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// GateArtifacts compares the BENCH artifacts in the freshDirs against the
 // committed baselines in baselineDir and fails any higher-is-better metric
-// that dropped more than maxDropPct percent. Artifacts missing from either
-// side are skipped (and reported), not failed: a brand-new artifact has no
-// baseline to hold it to, and a baseline whose experiment was retired has
-// nothing fresh to compare.
-func GateArtifacts(baselineDir, freshDir string, maxDropPct float64) (GateResult, error) {
-	res := GateResult{MaxDropPct: maxDropPct}
+// that dropped more than maxDropPct percent. Each metric's fresh value is
+// the median across every fresh run that produced the artifact — a noise
+// floor that keeps one unlucky CI run (a scheduler stall mid-sweep, a cold
+// page cache) from flaking the gate. Artifacts missing from the baseline or
+// from every fresh run are skipped (and reported), not failed: a brand-new
+// artifact has no baseline to hold it to, and a baseline whose experiment
+// was retired has nothing fresh to compare.
+func GateArtifacts(baselineDir string, freshDirs []string, maxDropPct float64) (GateResult, error) {
+	res := GateResult{MaxDropPct: maxDropPct, FreshRuns: len(freshDirs)}
+	if len(freshDirs) == 0 {
+		return res, fmt.Errorf("gate: no fresh directories given")
+	}
 	// Iterate in a fixed order so reports are stable.
 	artifacts := []string{"BENCH_scanscale.json", "BENCH_servescale.json", "BENCH_fleetscale.json"}
 	for _, artifact := range artifacts {
 		base, berr := extractMetrics(baselineDir, artifact)
-		fresh, ferr := extractMetrics(freshDir, artifact)
-		if os.IsNotExist(berr) || os.IsNotExist(ferr) {
+		if os.IsNotExist(berr) {
 			res.Skipped = append(res.Skipped, artifact)
 			continue
 		}
 		if berr != nil {
 			return res, berr
 		}
-		if ferr != nil {
-			return res, ferr
+		// Pool per-metric samples across the fresh runs. A run that lacks
+		// the artifact entirely is tolerated (retired experiment, partial
+		// rerun); a run that has it but dropped a metric is an error — a
+		// silent schema drift the gate must not paper over.
+		samples := make(map[string][]float64)
+		present := 0
+		for _, dir := range freshDirs {
+			fresh, ferr := extractMetrics(dir, artifact)
+			if os.IsNotExist(ferr) {
+				continue
+			}
+			if ferr != nil {
+				return res, ferr
+			}
+			present++
+			for _, m := range fresh {
+				samples[m.Metric] = append(samples[m.Metric], m.Fresh)
+			}
 		}
-		byName := make(map[string]float64, len(fresh))
-		for _, m := range fresh {
-			byName[m.Metric] = m.Fresh
+		if present == 0 {
+			res.Skipped = append(res.Skipped, artifact)
+			continue
 		}
 		for _, m := range base {
-			f, ok := byName[m.Metric]
+			vals, ok := samples[m.Metric]
 			if !ok {
-				return res, fmt.Errorf("%s: fresh run is missing metric %s", artifact, m.Metric)
+				return res, fmt.Errorf("%s: fresh runs are missing metric %s", artifact, m.Metric)
 			}
-			gm := GateMetric{Artifact: artifact, Metric: m.Metric, Baseline: m.Fresh, Fresh: f}
+			if len(vals) != present {
+				return res, fmt.Errorf("%s: metric %s present in only %d of %d fresh runs", artifact, m.Metric, len(vals), present)
+			}
+			gm := GateMetric{Artifact: artifact, Metric: m.Metric, Baseline: m.Fresh, Fresh: median(vals)}
+			if len(vals) > 1 {
+				gm.Samples = vals
+			}
 			if gm.Baseline > 0 {
 				gm.DeltaPct = (gm.Fresh - gm.Baseline) / gm.Baseline * 100
 				gm.Regressed = gm.DeltaPct < -maxDropPct
@@ -158,7 +206,11 @@ func GateArtifacts(baselineDir, freshDir string, maxDropPct float64) (GateResult
 // shape CI appends to the job step summary.
 func (r GateResult) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "### Perf gate (max drop %.0f%%)\n\n", r.MaxDropPct)
+	if r.FreshRuns > 1 {
+		fmt.Fprintf(&sb, "### Perf gate (max drop %.0f%%, median of %d fresh runs)\n\n", r.MaxDropPct, r.FreshRuns)
+	} else {
+		fmt.Fprintf(&sb, "### Perf gate (max drop %.0f%%)\n\n", r.MaxDropPct)
+	}
 	sb.WriteString("| artifact | metric | baseline | fresh | delta | verdict |\n")
 	sb.WriteString("|---|---|---:|---:|---:|---|\n")
 	for _, m := range r.Metrics {

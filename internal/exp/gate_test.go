@@ -42,7 +42,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 	writeGateFixture(t, base, 1000, 2400)
 	writeGateFixture(t, fresh, 950, 2300) // -5%, -4.2%
 
-	res, err := GateArtifacts(base, fresh, 10)
+	res, err := GateArtifacts(base, []string{fresh}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestGateFailsOnInjectedRegression(t *testing.T) {
 	writeGateFixture(t, base, 1000, 2400)
 	writeGateFixture(t, fresh, 800, 2400) // RPS −20%, scan unchanged
 
-	res, err := GateArtifacts(base, fresh, 10)
+	res, err := GateArtifacts(base, []string{fresh}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestGateSkipsMissingArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := GateArtifacts(base, fresh, 10)
+	res, err := GateArtifacts(base, []string{fresh}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,5 +115,72 @@ func TestGateSkipsMissingArtifacts(t *testing.T) {
 	}
 	if len(res.Skipped) != 1 || res.Skipped[0] != "BENCH_fleetscale.json" {
 		t.Fatalf("skipped = %v, want [BENCH_fleetscale.json]", res.Skipped)
+	}
+}
+
+// TestGateMedianAbsorbsOneNoisyRun: with three fresh runs, one run whose
+// serving RPS cratered (a CI scheduler stall) must not trip the gate when
+// the other two are healthy — the median is what's judged.
+func TestGateMedianAbsorbsOneNoisyRun(t *testing.T) {
+	base := t.TempDir()
+	writeGateFixture(t, base, 1000, 2400)
+	r1, r2, r3 := t.TempDir(), t.TempDir(), t.TempDir()
+	writeGateFixture(t, r1, 980, 2350)
+	writeGateFixture(t, r2, 400, 900) // the stalled run: −60%
+	writeGateFixture(t, r3, 1010, 2420)
+
+	res, err := GateArtifacts(base, []string{r1, r2, r3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressed {
+		t.Fatalf("median gate tripped by a single noisy run: %s", res.Render())
+	}
+	if res.FreshRuns != 3 {
+		t.Fatalf("FreshRuns = %d, want 3", res.FreshRuns)
+	}
+	for _, m := range res.Metrics {
+		if len(m.Samples) != 3 {
+			t.Fatalf("%s/%s carries %d samples, want 3", m.Artifact, m.Metric, len(m.Samples))
+		}
+	}
+	if !strings.Contains(res.Render(), "median of 3 fresh runs") {
+		t.Fatal("report does not state the median-of-N policy")
+	}
+}
+
+// TestGateMedianStillCatchesRealRegression: when the majority of runs
+// regress, the median regresses with them — the noise floor must not turn
+// into a blind spot.
+func TestGateMedianStillCatchesRealRegression(t *testing.T) {
+	base := t.TempDir()
+	writeGateFixture(t, base, 1000, 2400)
+	r1, r2, r3 := t.TempDir(), t.TempDir(), t.TempDir()
+	writeGateFixture(t, r1, 780, 2400)
+	writeGateFixture(t, r2, 800, 2400)
+	writeGateFixture(t, r3, 990, 2400) // one lucky run can't save it
+
+	res, err := GateArtifacts(base, []string{r1, r2, r3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regressed {
+		t.Fatalf("median gate passed a 2-of-3 −20%% regression: %s", res.Render())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
 	}
 }

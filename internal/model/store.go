@@ -1,0 +1,46 @@
+package model
+
+import (
+	"errors"
+	"os"
+
+	"radar/internal/store"
+)
+
+// MapCheckpoint rebinds b's quantized weights to the store checkpoint at
+// path, converting on first use: when path is missing (or not a usable
+// store file) the bundle's current int8 image is saved there, then the
+// checkpoint is opened — mmap-backed where available — and its zero-copy
+// layers replace b.QModel. The float network is attached to the mapped
+// model, which synchronizes the dequantized file image into the net, so
+// inference, attacks, and the RADAR protector all operate on the
+// file-backed DRAM image from then on; the checkpoint file, not the
+// bundle, is authoritative. The caller owns the returned checkpoint and
+// must Close it (syncing first if in-memory recovery writes on the
+// fallback path should persist).
+func MapCheckpoint(b *Bundle, path string) (*store.Checkpoint, error) {
+	if _, err := os.Stat(path); err != nil {
+		if err := store.Save(path, b.QModel); err != nil {
+			return nil, err
+		}
+	}
+	c, err := store.Open(path)
+	if errors.Is(err, store.ErrFormat) {
+		// The file exists but is not a valid checkpoint (e.g. a partial
+		// write from a crashed conversion): rewrite it from the bundle.
+		if err := store.Save(path, b.QModel); err != nil {
+			return nil, err
+		}
+		c, err = store.Open(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := c.Model()
+	if err := m.Attach(b.Net); err != nil {
+		c.Close()
+		return nil, err
+	}
+	b.QModel = m
+	return c, nil
+}

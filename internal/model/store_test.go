@@ -1,0 +1,162 @@
+package model
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"radar/internal/core"
+	"radar/internal/quant"
+	"radar/internal/store"
+)
+
+// TestAdoptStateAliases pins the single-materialization contract of the
+// checkpoint loader: AdoptState hands the state's backing arrays to the
+// network (pointer-identical, zero bytes copied or allocated per weight),
+// unlike LoadState which copies.
+func TestAdoptStateAliases(t *testing.T) {
+	spec := TinySpec()
+	src := spec.Arch(rand.New(rand.NewSource(1)))
+	st := src.CaptureState()
+	net := spec.Arch(rand.New(rand.NewSource(2)))
+	net.AdoptState(st)
+	for _, p := range net.Params() {
+		data := st.Params[p.Name]
+		if len(data) == 0 || &p.Value.Data[0] != &data[0] {
+			t.Fatalf("param %s was copied, not adopted", p.Name)
+		}
+	}
+	// LoadState keeps its copy semantics: the same state loaded into a
+	// third net must not alias.
+	net2 := spec.Arch(rand.New(rand.NewSource(3)))
+	net2.LoadState(st)
+	for _, p := range net2.Params() {
+		if &p.Value.Data[0] == &st.Params[p.Name][0] {
+			t.Fatalf("LoadState aliased param %s", p.Name)
+		}
+	}
+}
+
+// TestLoadCheckpointIntoMatchesLoadState pins that the adopting disk path
+// and the copying fallback produce identical weights.
+func TestLoadCheckpointIntoMatchesLoadState(t *testing.T) {
+	ResetCache()
+	spec := TinySpec()
+	spec.Name = "tiny-test-adopt"
+	path := filepath.Join(cacheDir(), spec.Name+".gob")
+	defer os.Remove(path)
+	b1 := Load(spec) // trains, saves checkpoint
+	net := spec.Arch(rand.New(rand.NewSource(1)))
+	clean, ok := loadCheckpointInto(net, path)
+	if !ok {
+		t.Fatal("loadCheckpointInto rejected a fresh checkpoint")
+	}
+	if clean != b1.CleanAccuracy {
+		t.Fatalf("clean accuracy %v != %v", clean, b1.CleanAccuracy)
+	}
+	qm := quant.Quantize(net)
+	for i, l := range qm.Layers {
+		want := b1.QModel.Layers[i]
+		for j := range l.Q {
+			if l.Q[j] != want.Q[j] {
+				t.Fatalf("layer %d weight %d: %d != %d", i, j, l.Q[j], want.Q[j])
+			}
+		}
+	}
+	if _, ok := loadCheckpointInto(net, path+".missing"); ok {
+		t.Fatal("loadCheckpointInto accepted a missing file")
+	}
+}
+
+// TestMapCheckpoint covers the gob→store conversion and rebinding path
+// end-to-end: converting a bundle, running flip→detect→recover on the
+// mapped image, persisting the recovery with SyncDirty (driven purely by
+// the recovery's observer notification), and re-mapping a fresh bundle
+// against the now-authoritative file.
+func TestMapCheckpoint(t *testing.T) {
+	ResetCache()
+	spec := TinySpec()
+	b := Load(spec)
+	path := filepath.Join(t.TempDir(), spec.Name+".radar")
+	c, err := MapCheckpoint(b, path)
+	if err != nil {
+		t.Fatalf("MapCheckpoint: %v", err)
+	}
+	defer c.Close()
+	if b.QModel != c.Model() {
+		t.Fatal("bundle not rebound to the store model")
+	}
+	if b.QModel.Net != b.Net {
+		t.Fatal("store model not attached to the bundle's network")
+	}
+	ref := Load(spec)
+	if len(b.QModel.Layers) != len(ref.QModel.Layers) {
+		t.Fatal("layer count changed through conversion")
+	}
+	for i, l := range b.QModel.Layers {
+		rl := ref.QModel.Layers[i]
+		if l.Name != rl.Name || len(l.Q) != len(rl.Q) {
+			t.Fatalf("layer %d shape changed through conversion", i)
+		}
+		for j := range l.Q {
+			if l.Q[j] != rl.Q[j] {
+				t.Fatalf("layer %d weight %d changed through conversion", i, j)
+			}
+		}
+		if l.Param == nil || l.Param.Value.Data[0] != float32(l.Q[0])*l.Scale {
+			t.Fatalf("layer %d float side not synchronized", i)
+		}
+	}
+
+	// Flip → detect → recover on the mapped image; SyncDirty persists the
+	// zeroing because recovery notifies the model observers, which the
+	// checkpoint translates into dirty sections.
+	p := core.Protect(b.QModel, core.DefaultConfig(8))
+	addr := quant.BitAddress{LayerIndex: 1, WeightIndex: 3, Bit: quant.MSB}
+	b.QModel.FlipBit(addr)
+	flagged, zeroed := p.DetectAndRecover()
+	if p.CountDetected([]quant.BitAddress{addr}, flagged) != 1 || zeroed == 0 {
+		t.Fatalf("flip not recovered: flagged=%v zeroed=%d", flagged, zeroed)
+	}
+	if err := c.SyncDirty(); err != nil {
+		t.Fatalf("SyncDirty: %v", err)
+	}
+
+	// A fresh bundle mapped against the same file must see the recovered
+	// (zeroed) weight — the checkpoint, not the bundle, is authoritative —
+	// and its float side must reflect it.
+	b2 := Load(spec)
+	c2, err := MapCheckpoint(b2, path)
+	if err != nil {
+		t.Fatalf("re-MapCheckpoint: %v", err)
+	}
+	defer c2.Close()
+	l := b2.QModel.Layers[addr.LayerIndex]
+	if l.Q[addr.WeightIndex] != 0 {
+		t.Fatalf("recovered weight = %d in re-mapped bundle, want 0", l.Q[addr.WeightIndex])
+	}
+	if l.Param.Value.Data[addr.WeightIndex] != 0 {
+		t.Fatal("float side of recovered weight not synchronized")
+	}
+}
+
+// TestMapCheckpointRewritesCorruptFile pins the conversion fallback: a
+// file that is not a store checkpoint is rewritten from the bundle.
+func TestMapCheckpointRewritesCorruptFile(t *testing.T) {
+	ResetCache()
+	spec := TinySpec()
+	b := Load(spec)
+	path := filepath.Join(t.TempDir(), "garbage.radar")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := MapCheckpoint(b, path)
+	if err != nil {
+		t.Fatalf("MapCheckpoint over garbage: %v", err)
+	}
+	defer c.Close()
+	if _, err := store.Open(path, store.InRAM()); err != nil {
+		t.Fatalf("rewritten file is not a valid checkpoint: %v", err)
+	}
+}

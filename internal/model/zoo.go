@@ -119,22 +119,31 @@ func cacheDir() string {
 	return filepath.Join(filepath.Dir(file), "..", "..", "testdata", "models")
 }
 
-// Load returns a fresh Bundle for spec, training the model on first use and
-// caching the trained state in memory and on disk (gob checkpoint).
+// Load returns a fresh Bundle for spec, training the model on first use
+// and caching the trained state on disk (gob checkpoint). A cached
+// checkpoint is decoded straight into the fresh network via AdoptState —
+// the decoded tensors become the network's own buffers, so the float
+// weights materialize once per Load instead of decode-buffer-plus-copy.
 func Load(spec Spec) *Bundle {
-	cacheMu.Lock()
-	st, ok := states[spec.Name]
-	clean := cleans[spec.Name]
-	cacheMu.Unlock()
-	if !ok {
-		st, clean = trainOrLoadState(spec)
-		cacheMu.Lock()
-		states[spec.Name] = st
-		cleans[spec.Name] = clean
-		cacheMu.Unlock()
-	}
 	net := spec.Arch(rand.New(rand.NewSource(1)))
-	net.LoadState(st)
+	clean, ok := loadCheckpointInto(net, filepath.Join(cacheDir(), spec.Name+".gob"))
+	if !ok {
+		// No usable disk checkpoint: train (or reuse the state memory-cached
+		// by an earlier training whose disk save failed). The memory cache
+		// is shared across Loads, so it is copied in, never adopted.
+		cacheMu.Lock()
+		st, hit := states[spec.Name]
+		clean = cleans[spec.Name]
+		cacheMu.Unlock()
+		if !hit {
+			st, clean = trainState(spec)
+			cacheMu.Lock()
+			states[spec.Name] = st
+			cleans[spec.Name] = clean
+			cacheMu.Unlock()
+		}
+		net.LoadState(st)
+	}
 	qm := quant.Quantize(net)
 	test := data.Generate(spec.Data, spec.TestN, 202)
 	attack := data.Generate(spec.Data, 256, 909)
@@ -147,16 +156,29 @@ type checkpoint struct {
 	Clean float64
 }
 
-func trainOrLoadState(spec Spec) (*nn.State, float64) {
-	path := filepath.Join(cacheDir(), spec.Name+".gob")
-	if f, err := os.Open(path); err == nil {
-		defer f.Close()
-		var ck checkpoint
-		if err := gob.NewDecoder(f).Decode(&ck); err == nil && ck.State != nil {
-			return ck.State, ck.Clean
-		}
-		// A corrupt checkpoint falls through to retraining.
+// loadCheckpointInto decodes the gob checkpoint at path directly into net,
+// which adopts the decoded tensors as its own buffers (nn.AdoptState): one
+// float materialization per load. Returns ok=false — leaving net untouched
+// beyond its fresh initialization — when the checkpoint is missing or
+// corrupt, so the caller falls back to training.
+func loadCheckpointInto(net *nn.Sequential, path string) (clean float64, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
 	}
+	defer f.Close()
+	var ck checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil || ck.State == nil {
+		return 0, false // corrupt checkpoint: caller retrains
+	}
+	net.AdoptState(ck.State)
+	return ck.Clean, true
+}
+
+// trainState trains spec's model from scratch, measures its clean
+// quantized accuracy, and best-effort persists the result as a gob
+// checkpoint for future Loads.
+func trainState(spec Spec) (*nn.State, float64) {
 	net := spec.Arch(rand.New(rand.NewSource(1)))
 	train, test := data.Generate(spec.Data, spec.TrainN, 101), data.Generate(spec.Data, spec.TestN, 202)
 	Train(net, train, test, spec.Train)
@@ -167,7 +189,7 @@ func trainOrLoadState(spec Spec) (*nn.State, float64) {
 	quant.Quantize(qnet)
 	clean := Evaluate(qnet, test, 100)
 	st := net.CaptureState()
-	saveCheckpoint(path, &checkpoint{State: st, Clean: clean})
+	saveCheckpoint(filepath.Join(cacheDir(), spec.Name+".gob"), &checkpoint{State: st, Clean: clean})
 	return st, clean
 }
 

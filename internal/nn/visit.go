@@ -56,6 +56,40 @@ func (s *Sequential) CaptureState() *State {
 	return st
 }
 
+// AdoptState is LoadState without the copy: the model takes ownership of
+// the state's slices, so a freshly decoded checkpoint materializes its
+// float tensors exactly once instead of decode-buffer-plus-copy. The
+// caller must hand over exclusive ownership — adopting a state that is
+// shared (e.g. a cache entry) aliases the cache into the live model and
+// every subsequent weight write poisons it; use LoadState there. Missing
+// names or size mismatches panic, same contract as LoadState.
+func (s *Sequential) AdoptState(st *State) {
+	for _, p := range s.Params() {
+		data, ok := st.Params[p.Name]
+		if !ok {
+			panic("nn: state missing parameter " + p.Name)
+		}
+		if len(data) != p.Value.Len() {
+			panic("nn: state size mismatch for " + p.Name)
+		}
+		p.Value.Data = data
+	}
+	s.Visit(func(l Layer) {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			rm, ok1 := st.RunningMean[bn.Name()]
+			rv, ok2 := st.RunningVar[bn.Name()]
+			if !ok1 || !ok2 {
+				panic("nn: state missing BN stats for " + bn.Name())
+			}
+			if len(rm) != len(bn.RunningMean) || len(rv) != len(bn.RunningVar) {
+				panic("nn: state size mismatch for BN stats of " + bn.Name())
+			}
+			bn.RunningMean = rm
+			bn.RunningVar = rv
+		}
+	})
+}
+
 // LoadState restores a snapshot previously captured from a model with the
 // same architecture. Unknown or missing names panic: a state/architecture
 // mismatch is a programming error, not a recoverable condition.

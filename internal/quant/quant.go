@@ -89,6 +89,48 @@ func (m *Model) notifyWrite(li int) {
 	}
 }
 
+// MarkWritten notifies the model's observers that layer li's quantized
+// storage was mutated outside the Model API (e.g. recovery zeroing weights
+// through Layer.Q directly). Storage backends use the notification to keep
+// dirty-page tracking sound — an mmap-backed checkpoint schedules the
+// layer for msync — and incremental scanners re-check the layer on their
+// next pass.
+func (m *Model) MarkWritten(li int) { m.notifyWrite(li) }
+
+// Attach wires the model to an existing float network: each quantized
+// layer binds to the parameter of the same name and the dequantized values
+// are synchronized into it, so a model restored from external storage
+// (e.g. an mmap-backed store checkpoint, which carries only the int8
+// image) drives the network — and the storage, not the network, is
+// authoritative from then on. Every layer must find a parameter of
+// matching name and size; extra parameters (BN affine terms, biases) are
+// left as the network has them.
+func (m *Model) Attach(net *nn.Sequential) error {
+	params := net.Params()
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	// Validate everything before binding anything, so a mismatch leaves
+	// the model unattached rather than half-wired.
+	for _, l := range m.Layers {
+		p, ok := byName[l.Name]
+		if !ok {
+			return fmt.Errorf("quant: no parameter named %q to attach", l.Name)
+		}
+		if p.Value.Len() != len(l.Q) {
+			return fmt.Errorf("quant: layer %q has %d weights, parameter has %d",
+				l.Name, len(l.Q), p.Value.Len())
+		}
+	}
+	for _, l := range m.Layers {
+		l.Param = byName[l.Name]
+	}
+	m.Net = net
+	m.SyncAll()
+	return nil
+}
+
 // Quantize converts every conv/linear weight of net to int8 symmetric
 // quantization (scale = max|w|/127) and synchronizes the float weights to
 // the quantization grid, so subsequent inference exactly reflects the int8

@@ -70,6 +70,16 @@ func (v *verifier) checkTimed(li int) int64 {
 		v.met.verifyFlagged.Add(int64(len(flagged)))
 		v.met.verifyZeroed.Add(int64(zeroed))
 	}
-	v.clean[li].Store(e + 1)
+	mark := e + 1
+	if zeroed > 0 {
+		// The repair's own zeroing is observed as a write — it must be, so
+		// mapped storage can flush it — bumping the epoch by exactly one
+		// before VerifyAndRecoverLayer returns (still under the layer
+		// lock). Fold that bump into the clean mark so a just-repaired
+		// layer is cache-clean on the next fetch; any concurrent write
+		// still leaves the mark behind the live epoch and forces a rescan.
+		mark++
+	}
+	v.clean[li].Store(mark)
 	return ns
 }

@@ -1,0 +1,26 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// Fallback backend for platforms without the mmap wiring: Open reads the
+// file into RAM, Sync writes sections back with pwrite, and release/advise
+// are no-ops. Semantics (including durable recovery via SyncDirty) are
+// identical to the mapped path; only the zero-copy and RSS properties are
+// lost — which the differential tests in store_test.go pin.
+
+const (
+	adviceDontNeed   = 0
+	adviceSequential = 0
+)
+
+func mmapFile(_ *os.File, _ int64) ([]byte, bool) { return nil, false }
+
+func munmapFile(_ []byte) error { return nil }
+
+func msyncRange(_ []byte) error { return nil }
+
+func madviseRange(_ []byte, _ int) {}
+
+func osPageSize() int { return os.Getpagesize() }

@@ -1,0 +1,64 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Linux backend: shared writable mapping of the whole file. MAP_SHARED is
+// what makes the checkpoint the authoritative DRAM image — recovery writes
+// hit the page cache directly and msync pins them to disk — and what makes
+// MADV_DONTNEED a pure RSS release rather than a data loss (the pages
+// belong to the file, not the process).
+
+const (
+	adviceDontNeed   = syscall.MADV_DONTNEED
+	adviceSequential = syscall.MADV_SEQUENTIAL
+)
+
+// mmapFile maps the file read-write shared. A false return selects the
+// read-into-RAM fallback (e.g. a filesystem that rejects shared writable
+// mappings).
+func mmapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// munmapFile releases the mapping.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// msyncRange synchronously writes the mapped range's dirty pages back to
+// the file. The Go syscall package does not wrap msync, so this calls it
+// directly; the caller guarantees &b[0] is page-aligned.
+func msyncRange(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// madviseRange applies advice to the mapped range, best-effort.
+func madviseRange(b []byte, advice int) {
+	if len(b) == 0 {
+		return
+	}
+	_ = syscall.Madvise(b, advice)
+}
+
+// osPageSize returns the host page size (sync/release ranges are rounded
+// to it; the format's own alignment is the fixed PageSize).
+func osPageSize() int { return os.Getpagesize() }
