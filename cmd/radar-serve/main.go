@@ -148,6 +148,12 @@ func main() {
 			log.Printf("model %q weights bound to %s (%.1f MB, %s)", name, path,
 				float64(ckpt.WeightBytes())/1e6, mode)
 			ckptMu.Lock()
+			// Any previous checkpoint under this name is stale — left over
+			// from a hot-removed model or a failed add. No live engine can
+			// be reading it: startup names register before serving begins,
+			// and the hot-add plane reserves the name (409ing duplicates)
+			// before this provider path runs, so buildModel never executes
+			// while a served model holds views into checkpoints[name].
 			if old := checkpoints[name]; old != nil {
 				old.Sync()
 				old.Close()

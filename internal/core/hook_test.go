@@ -74,6 +74,40 @@ func TestOnLayerScannedHook(t *testing.T) {
 	}
 }
 
+// TestRekeySwapsLayerScannedHook pins that Rekey honors a new
+// OnLayerScanned in its Config like the other tuned fields: scans after
+// the rekey fire the replacement hook, not the original, and a cfg that
+// leaves the hook nil keeps the existing one.
+func TestRekeySwapsLayerScannedHook(t *testing.T) {
+	m := hookTestModel()
+	var recA, recB hookRecorder
+	cfg := DefaultConfig(8)
+	cfg.OnLayerScanned = recA.hook
+	p := Protect(m, cfg)
+
+	swap := DefaultConfig(8)
+	swap.OnLayerScanned = recB.hook
+	p.Rekey(swap)
+	recA.take() // drain the initial Protect
+	recB.take() // drain the rekey's own signature recompute
+	all := []int{0, 1, 2}
+	p.Scan()
+	if got := recB.take(); !reflect.DeepEqual(got, all) {
+		t.Fatalf("post-rekey scan fired new hook for %v, want %v", got, all)
+	}
+	if got := recA.take(); len(got) != 0 {
+		t.Fatalf("post-rekey scan still fired the replaced hook for %v", got)
+	}
+
+	// A rekey without a hook keeps the current one.
+	p.Rekey(DefaultConfig(8))
+	recB.take()
+	p.Scan()
+	if got := recB.take(); !reflect.DeepEqual(got, all) {
+		t.Fatalf("scan after hookless rekey fired %v, want %v", got, all)
+	}
+}
+
 func hookTestModel() *quant.Model {
 	m := &quant.Model{}
 	for i, n := range []int{96, 41, 120} {

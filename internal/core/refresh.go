@@ -35,7 +35,8 @@ func (p *Protector) RefreshAll() {
 // cfg and recomputes all golden signatures. Rotating the secrets bounds
 // how long a side-channel leak of one key is useful to an attacker. The
 // protector keeps its existing model observation (no new observer is
-// registered) and its tuned Workers/ShardGroups unless cfg sets them.
+// registered) and its tuned Workers/ShardGroups/OnLayerScanned unless cfg
+// sets them.
 func (p *Protector) Rekey(cfg Config) {
 	p.mu.Lock()
 	if cfg.Workers == 0 {
@@ -54,6 +55,7 @@ func (p *Protector) Rekey(cfg Config) {
 	p.mu.Lock()
 	p.workers = fresh.workers
 	p.shardGroups = fresh.shardGroups
+	p.onLayerScanned = fresh.onLayerScanned
 	p.mu.Unlock()
 	p.stats.rekeys.Add(1)
 }

@@ -226,6 +226,19 @@ func (s *Service) handleAddModel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("bad JSON: %w", err))
 		return
 	}
+	if err := validModelName(name); err != nil {
+		httpError(w, err)
+		return
+	}
+	// Reserve the name before the provider runs: a hosted or concurrently
+	// adding name 409s here, so the provider's side effects (radar-serve
+	// remaps the store checkpoint under this name) never touch a model
+	// that is already serving.
+	if err := s.reg.reserve(name); err != nil {
+		httpError(w, err)
+		return
+	}
+	defer s.reg.release(name)
 	eng, prot, opts, err := s.provider(name, req.Source)
 	if err != nil {
 		httpError(w, err)

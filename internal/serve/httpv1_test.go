@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -371,6 +372,61 @@ func tinyProvider(name, source string) (*qinfer.Engine, *core.Protector, []Model
 		WithInputShape(b.Spec.Data.Channels, b.Spec.Data.Size, b.Spec.Data.Size),
 		WithScrub(0, 0),
 	}, nil
+}
+
+// TestHTTPAddModelDuplicateSkipsProvider pins the hot-add ordering: a POST
+// for a name that is already serving must 409 BEFORE the ModelProvider
+// runs. radar-serve's provider rebinds the name's store checkpoint as a
+// side effect, which would unmap weights the live engine still reads —
+// the name is reserved first so that path never executes for a duplicate.
+func TestHTTPAddModelDuplicateSkipsProvider(t *testing.T) {
+	var calls atomic.Int32
+	counting := func(name, source string) (*qinfer.Engine, *core.Protector, []ModelOption, error) {
+		calls.Add(1)
+		return tinyProvider(name, source)
+	}
+	svc, _, _ := openTiny(t, 1, []ModelOption{WithScrub(0, 0)}, WithModelProvider(counting))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/admin/models/m0", "application/json",
+		strings.NewReader(`{"source":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add → %d, want 409", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("provider ran %d time(s) for an already-served name", n)
+	}
+
+	// A free name still goes through the provider and registers, and the
+	// released reservation doesn't block it.
+	resp, err = http.Post(ts.URL+"/v1/admin/models/fresh", "application/json",
+		strings.NewReader(`{"source":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add of a free name → %d, want 201", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("provider ran %d time(s) for a free name, want 1", n)
+	}
+
+	// Once registered, the name conflicts again without a provider call.
+	resp, _ = http.Post(ts.URL+"/v1/admin/models/fresh", "application/json",
+		strings.NewReader(`{"source":"tiny"}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-add of registered name → %d, want 409", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("provider ran %d time(s) after re-add, want still 1", n)
+	}
 }
 
 // TestHTTPAdminModels exercises hot add/remove over the wire: 501 without

@@ -50,6 +50,9 @@ type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*hostedModel
 	order  []string // registration order; order[0] is the default model
+	// reserved marks names with a hot-add in flight (reserve/release); the
+	// HTTP admin plane holds a reservation across its ModelProvider call.
+	reserved map[string]bool
 }
 
 // lookup resolves a model name; the empty name selects the default model
@@ -78,6 +81,37 @@ func (r *Registry) add(hm *hostedModel) error {
 	r.byName[hm.name] = hm
 	r.order = append(r.order, hm.name)
 	return nil
+}
+
+// reserve marks name as having an add in flight, failing with
+// ErrModelExists when it is already hosted or already reserved. The HTTP
+// admin plane reserves the name BEFORE invoking the ModelProvider, so a
+// provider with side effects — radar-serve rebinds the name's store
+// checkpoint, unmapping whatever was bound to it before — never runs for
+// a name that is currently serving, even under concurrent adds.
+func (r *Registry) reserve(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("%w: %q", ErrModelExists, name)
+	}
+	if r.reserved[name] {
+		return fmt.Errorf("%w: %q (add in flight)", ErrModelExists, name)
+	}
+	if r.reserved == nil {
+		r.reserved = make(map[string]bool)
+	}
+	r.reserved[name] = true
+	return nil
+}
+
+// release frees a reservation taken with reserve. Safe to call after the
+// add published the name: lookups go through byName, so the registration
+// itself keeps blocking duplicates once the reservation is gone.
+func (r *Registry) release(name string) {
+	r.mu.Lock()
+	delete(r.reserved, name)
+	r.mu.Unlock()
 }
 
 // remove unregisters a hosted model and returns it so the caller can stop

@@ -205,9 +205,14 @@ func decodeTable(buf []byte, n int, fileSize int64) ([]layerMeta, error) {
 		if m.off%PageSize != 0 {
 			return nil, fmt.Errorf("%w: layer %q offset %d is not page-aligned", ErrFormat, m.name, m.off)
 		}
-		if m.off < headerSize || m.off+m.weights > fileSize {
-			return nil, fmt.Errorf("%w: layer %q section [%d,%d) exceeds file size %d",
-				ErrFormat, m.name, m.off, m.off+m.weights, fileSize)
+		// Bounds without computing m.off+m.weights: for a crafted entry the
+		// sum can wrap int64 negative and slip past a naive end check. A
+		// huge uint64 off lands negative after the int64 cast and is caught
+		// by the headerSize floor; weights <= 0 was rejected above, so
+		// fileSize-m.off cannot overflow here.
+		if m.off < headerSize || m.off > fileSize || m.weights > fileSize-m.off {
+			return nil, fmt.Errorf("%w: layer %q section at offset %d (%d weights) exceeds file size %d",
+				ErrFormat, m.name, m.off, m.weights, fileSize)
 		}
 		layers = append(layers, m)
 	}

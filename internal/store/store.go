@@ -92,8 +92,10 @@ func open(f *os.File, path string, o options) (*Checkpoint, error) {
 	if int64(h.fileSize) != size {
 		return nil, fmt.Errorf("%w: header says %d bytes, file has %d", ErrFormat, h.fileSize, size)
 	}
-	if h.tableOff+h.tableLen > h.fileSize || h.tableLen > 1<<30 {
-		return nil, fmt.Errorf("%w: section table [%d,%d) exceeds file", ErrFormat, h.tableOff, h.tableOff+h.tableLen)
+	// Compare without h.tableOff+h.tableLen: the uint64 sum can wrap for a
+	// crafted header and slip past a naive end check.
+	if h.tableLen > 1<<30 || h.tableOff > h.fileSize || h.tableLen > h.fileSize-h.tableOff {
+		return nil, fmt.Errorf("%w: section table at offset %d (%d bytes) exceeds file", ErrFormat, h.tableOff, h.tableLen)
 	}
 	table := make([]byte, h.tableLen)
 	if _, err := io.ReadFull(io.NewSectionReader(f, int64(h.tableOff), int64(h.tableLen)), table); err != nil {

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -435,6 +437,20 @@ func TestOpenRejectsCorruption(t *testing.T) {
 		{"table CRC mismatch", func(b []byte) []byte { b[h.tableOff] ^= 0xFF; return b }},
 		{"truncated file", func(b []byte) []byte { return b[:len(b)-1] }},
 		{"short header", func(b []byte) []byte { return b[:headerSize-1] }},
+		// A crafted first entry whose off is page-aligned and huge enough
+		// that off+weights wraps int64 negative, with the table CRC fixed up
+		// so only the geometry check can reject it.
+		{"section offset overflow", func(b []byte) []byte {
+			le := binary.LittleEndian
+			pos := int(h.tableOff)
+			pos += 2 + int(le.Uint16(b[pos:])) // name length + name
+			pos += 4                           // scale
+			nScales := int(le.Uint32(b[pos:]))
+			pos += 4 + 4*nScales
+			le.PutUint64(b[pos:], 1<<63-PageSize)
+			le.PutUint32(b[20:], crc32.ChecksumIEEE(b[h.tableOff:h.tableOff+h.tableLen]))
+			return b
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
