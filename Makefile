@@ -14,10 +14,12 @@ test:
 # serving stack (batching + scrubber + verified fetch under live flips),
 # the inference engine's pooled conv scratch, the lock-free metrics
 # registry under concurrent scrapes, the fleet router, the chaos proxy,
-# and the mmap store (dirty-tracking observers fire from scan workers),
-# plus the differential kernel property/fuzz seeds.
+# the mmap store (dirty-tracking observers fire from scan workers), and
+# the adversary campaign engine (volleys mount under the layer guard
+# while scrubs run), plus the ECC corrector and timing-substrate
+# property/fuzz seeds.
 race:
-	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/... ./internal/obs/... ./internal/fleet/... ./internal/chaos/... ./internal/store/...
+	$(GO) test -race -timeout 20m ./internal/core/... ./internal/serve/... ./internal/qinfer/... ./internal/obs/... ./internal/fleet/... ./internal/chaos/... ./internal/store/... ./internal/adversary/... ./internal/ecc/... ./internal/memsim/...
 
 # Full benchmark sweep (slow; trains zoo models on first run).
 bench:
@@ -34,9 +36,11 @@ bench-smoke:
 # old-vs-new checksum kernel record), the serving-under-attack sweep and
 # the fleet routing/availability sweep. BENCH_OUT redirects the output
 # directory (default: repo root, i.e. the committed baselines). bigscale
-# is deliberately absent: CI's size-capped quick run is not comparable to
-# the committed 2 GiB baseline, so it is smoke-run and uploaded by CI
-# (with its RSS ratio enforced inside the experiment) but never gated.
+# and recoveryscale are deliberately absent: CI's size-capped quick runs
+# are not comparable to the committed full-scale baselines, so both are
+# smoke-run and uploaded by CI (with their invariants — the RSS ratio,
+# the ECC bit-identical restore — enforced inside the experiment) but
+# never gated.
 BENCH_OUT ?= .
 bench-artifacts:
 	$(GO) run ./cmd/radar-bench -exp scanscale -json $(BENCH_OUT)/BENCH_scanscale.json

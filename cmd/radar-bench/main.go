@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale|fleetscale|bigscale] [-scale quick|full] [-json path]
+//	radar-bench [-exp all|table1|table2|table3|table4|table5|fig2|fig4|fig5|fig6|fig7|missrate|msb1|rowhammer|ablation-*|scanscale|servescale|fleetscale|recoveryscale|bigscale] [-scale quick|full] [-json path]
 //	radar-bench -gate -baseline DIR -fresh DIR [-fresh DIR ...] [-max-drop 10]
 //
 // The scanscale experiment sweeps the parallel scan engine's worker pool
@@ -20,11 +20,16 @@
 // experiment streams the full protect→scan→inject→recover pipeline over a
 // synthetic mmap-backed store checkpoint (2 GiB at -scale full, 256 MiB at
 // quick), reporting throughput, incremental-scan latency, and the peak-RSS
-// to checkpoint-size ratio of the streaming reader. All four write
-// machine-readable JSON artifacts — BENCH_scanscale.json,
-// BENCH_servescale.json, BENCH_fleetscale.json, BENCH_bigscale.json — to
-// per-experiment default paths, or to the -json path when set explicitly
-// (meaningful only when running a single JSON-capable experiment).
+// to checkpoint-size ratio of the streaming reader. The recoveryscale
+// experiment runs every internal/adversary campaign (oblivious,
+// scrub-timer, below-threshold, sigstore) against the undefended,
+// zeroing-recovery, and ECC-corrected deployments of the ResNet-20s model
+// and reports detection/correction rates and top-1 accuracy-after-attack
+// per cell. All five write machine-readable JSON artifacts —
+// BENCH_scanscale.json, BENCH_servescale.json, BENCH_fleetscale.json,
+// BENCH_bigscale.json, BENCH_recoveryscale.json — to per-experiment
+// default paths, or to the -json path when set explicitly (meaningful only
+// when running a single JSON-capable experiment).
 //
 // -gate compares the artifacts in -fresh against the committed baselines
 // in -baseline and exits 1 when any tracked higher-is-better metric
@@ -139,6 +144,11 @@ func main() {
 		{"fleetscale", func() string {
 			r := exp.FleetScaling()
 			writeJSON(artifactPath(*jsonPath, "fleetscale"), r.WriteJSON)
+			return r.Render()
+		}},
+		{"recoveryscale", func() string {
+			r := exp.RecoveryScale(ctx)
+			writeJSON(artifactPath(*jsonPath, "recoveryscale"), r.WriteJSON)
 			return r.Render()
 		}},
 		{"bigscale", func() string {

@@ -11,12 +11,18 @@
 //	            [-addr :8080] [-g 8] [-batch 8] [-batch-latency 2ms]
 //	            [-workers N] [-queue 256] [-verify] [-scrub 100ms]
 //	            [-scrub-full-every 8] [-scan-workers N] [-jobs 1024]
-//	            [-store-dir DIR] [-store-sync 1s]
+//	            [-store-dir DIR] [-store-sync 1s] [-correct NAME]
 //	            [-debug-addr :6060] [-log-requests]
 //
 // -model is repeatable; "name=zoo" serves zoo model zoo under name, and a
 // bare "zoo" uses the zoo name itself. The tuning flags apply to every
 // model (each still gets its own independent queue, workers and scrubber).
+//
+// -correct NAME (repeatable; "all" covers every model) opts the named
+// served model into ECC-corrected recovery: scrub-flagged groups consult
+// per-group Hamming check words and single-bit corruption is repaired in
+// place instead of zeroed, with the corrected/zeroed split exported as
+// radar_groups_corrected_total / radar_groups_zeroed_total.
 //
 // -store-dir DIR serves every model from an mmap-backed store checkpoint
 // DIR/<name>.radar (converted from the trained gob weights on first use):
@@ -36,6 +42,7 @@
 //	GET    /v1/debug/traces         recent per-request stage timings
 //	POST   /v1/admin/scrub          force a scrub cycle now
 //	POST   /v1/admin/rekey          rotate protection secrets live
+//	POST   /v1/admin/inject         mount an adversary volley (fault drill)
 //	POST   /v1/admin/models/{name}  hot-add a zoo model ({"source":"tiny"})
 //	DELETE /v1/admin/models/{name}  hot-remove a model
 //
@@ -79,6 +86,8 @@ func (m *modelFlag) Set(v string) error {
 func main() {
 	var models modelFlag
 	flag.Var(&models, "model", "zoo model to serve: tiny, resnet20s or resnet18s, optionally as name=zoo; repeatable (checkpoints load from testdata/models)")
+	var corrects modelFlag
+	flag.Var(&corrects, "correct", "served model name whose recovery is ECC-corrected instead of zeroing; repeatable, or \"all\"")
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		g         = flag.Int("g", 8, "RADAR group size (paper: 8 for ResNet-20, 512 for ResNet-18)")
@@ -168,6 +177,11 @@ func main() {
 		}
 		pcfg := core.DefaultConfig(*g)
 		pcfg.Workers = *scanWk
+		for _, c := range corrects {
+			if c == name || c == "all" {
+				pcfg.Correct = true
+			}
+		}
 		prot := core.Protect(bundle.QModel, pcfg)
 		return eng, prot, serve.Config{
 			MaxBatch:       *batch,
@@ -217,8 +231,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("%v", err)
 		}
-		log.Printf("model %q: %d layers, %d groups (G=%d)",
-			name, len(prot.Model.Layers), prot.NumGroups(), *g)
+		recovery := "zeroing"
+		if prot.Correcting() {
+			recovery = "ECC-corrected"
+		}
+		log.Printf("model %q: %d layers, %d groups (G=%d, %s recovery)",
+			name, len(prot.Model.Layers), prot.NumGroups(), *g, recovery)
 
 		opts = append(opts, serve.WithModel(name, eng, prot, serve.WithConfig(cfg)))
 		hostedModels = append(hostedModels, hosted{name: name, spec: spec})

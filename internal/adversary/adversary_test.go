@@ -1,0 +1,208 @@
+package adversary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"radar/internal/core"
+	"radar/internal/model"
+	"radar/internal/quant"
+)
+
+func tinyTarget(t *testing.T, correct bool) (Target, [][]int8) {
+	t.Helper()
+	b := model.Load(model.TinySpec())
+	cfg := core.DefaultConfig(16)
+	cfg.Correct = correct
+	p := core.Protect(b.QModel, cfg)
+	return Target{Model: b.QModel, Prot: p}, b.QModel.Snapshot()
+}
+
+func modelEquals(m *quant.Model, snap [][]int8) bool {
+	for li, l := range m.Layers {
+		for i, v := range l.Q {
+			if v != snap[li][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestNewKnowsAllNames(t *testing.T) {
+	for _, n := range Names() {
+		atk, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if atk.Name() != n {
+			t.Fatalf("attacker %q reports name %q", n, atk.Name())
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Fatal("unknown attacker name must error")
+	}
+}
+
+func TestPlansAreDeterministic(t *testing.T) {
+	tgt, _ := tinyTarget(t, false)
+	opt := Options{Flips: 24, Windows: 6, FullEvery: 3, Seed: 11}
+	for _, n := range Names() {
+		atk, _ := New(n)
+		a := atk.Plan(tgt, opt, rand.New(rand.NewSource(opt.Seed)))
+		b := atk.Plan(tgt, opt, rand.New(rand.NewSource(opt.Seed)))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different plans", n)
+		}
+		total := 0
+		for _, v := range a {
+			total += v.Size()
+		}
+		if total > opt.Flips {
+			t.Fatalf("%s: plan spends %d flips, budget %d", n, total, opt.Flips)
+		}
+	}
+}
+
+func TestRateModelPricesRowhammerPhysics(t *testing.T) {
+	r := DefaultRateModel()
+	spf := r.SecondsPerFlip()
+	// 2 × 50k activations × ~42-cycle row conflicts at 1 GHz ≈ 4.2 ms.
+	if spf < 3e-3 || spf > 6e-3 {
+		t.Fatalf("seconds per flip = %v, want ≈ 4.2ms", spf)
+	}
+	cap := r.FlipsPerWindow(100 * time.Millisecond)
+	if cap < 15 || cap > 35 {
+		t.Fatalf("flips per 100ms window = %d, want ≈ 23", cap)
+	}
+	if r.FlipsPerWindow(0) != 0 {
+		t.Fatal("unknown window length must waive the cap")
+	}
+	if r.FlipsPerWindow(time.Microsecond) != 1 {
+		t.Fatal("a window shorter than one flip still admits a carried-over flip")
+	}
+}
+
+func TestRateCapBoundsEveryVolley(t *testing.T) {
+	tgt, _ := tinyTarget(t, false)
+	opt := Options{
+		Flips: 500, Windows: 5, FullEvery: 2,
+		Rate: DefaultRateModel(), ScrubEvery: 100 * time.Millisecond, Seed: 3,
+	}
+	cap := opt.CapPerWindow()
+	if cap <= 0 {
+		t.Fatal("expected a finite cap")
+	}
+	for _, n := range Names() {
+		atk, _ := New(n)
+		for w, v := range atk.Plan(tgt, opt, rand.New(rand.NewSource(1))) {
+			if v.Size() > cap {
+				t.Fatalf("%s: window %d volley %d flips exceeds cap %d", n, w, v.Size(), cap)
+			}
+		}
+	}
+}
+
+// TestScrubTimerBeatsObliviousOnHorizonSurvival: against a defender that
+// only runs periodic full scans, the schedule-aware attacker has every
+// flip still live at the campaign horizon, while the oblivious attacker
+// loses every flip mounted before the last full scan.
+func TestScrubTimerBeatsObliviousOnHorizonSurvival(t *testing.T) {
+	liveAt := func(name string) (live, mounted int) {
+		tgt, _ := tinyTarget(t, false)
+		atk, _ := New(name)
+		c := NewCampaign(tgt, atk, Options{Flips: 12, Windows: 8, FullEvery: 2, Seed: 5})
+		c.Run()
+		out := c.Outcome()
+		return out.Mounted - out.Detected, out.Mounted
+	}
+	stLive, stMounted := liveAt("scrub-timer")
+	obLive, _ := liveAt("oblivious")
+	if stLive != stMounted {
+		t.Fatalf("scrub-timer: %d/%d flips live at horizon, want all", stLive, stMounted)
+	}
+	if stLive <= obLive {
+		t.Fatalf("scrub-timer live=%d must beat oblivious live=%d", stLive, obLive)
+	}
+}
+
+// TestScrubTimerCampaignIsExactlyCorrectable: the single-bit-per-group
+// campaign is the ECC path's best case — settle restores the pre-attack
+// bytes exactly, with zero weights zeroed.
+func TestScrubTimerCampaignIsExactlyCorrectable(t *testing.T) {
+	tgt, snap := tinyTarget(t, true)
+	atk, _ := New("scrub-timer")
+	c := NewCampaign(tgt, atk, Options{Flips: 10, Windows: 6, FullEvery: 3, Seed: 9})
+	c.Run()
+	c.Settle()
+	out := c.Outcome()
+	if out.Detected != out.Mounted || out.Survived != 0 {
+		t.Fatalf("settle should catch all single MSB flips: %+v", out)
+	}
+	if out.WeightsZeroed != 0 || out.GroupsCorrected != int64(out.Mounted) {
+		t.Fatalf("want all %d groups ECC-corrected, got corrected=%d zeroed=%d",
+			out.Mounted, out.GroupsCorrected, out.GroupsZeroed)
+	}
+	if !modelEquals(tgt.Model, snap) {
+		t.Fatal("corrected model is not bit-identical to the pre-attack image")
+	}
+}
+
+// TestBelowThresholdEvadesSettle: about half the paired flips produce a
+// zero checksum delta under the secret masking and survive even the final
+// full scrub.
+func TestBelowThresholdEvadesSettle(t *testing.T) {
+	tgt, _ := tinyTarget(t, false)
+	atk, _ := New("below-threshold")
+	c := NewCampaign(tgt, atk, Options{Flips: 60, Windows: 4, Seed: 21})
+	c.Run()
+	c.Settle()
+	out := c.Outcome()
+	if out.Survived == 0 {
+		t.Fatalf("no pair evaded the masked signature: %+v", out)
+	}
+	if out.Survived >= out.Mounted {
+		t.Fatalf("every pair evaded — detection is broken: %+v", out)
+	}
+}
+
+// TestSigstoreWeaponizesZeroingButNotECC: against zeroing-only recovery a
+// signature-store campaign destroys healthy weights; with ECC the check
+// words certify the weights intact and only the signatures are repaired.
+func TestSigstoreWeaponizesZeroingButNotECC(t *testing.T) {
+	run := func(correct bool) (Outcome, bool) {
+		tgt, snap := tinyTarget(t, correct)
+		atk, _ := New("sigstore")
+		c := NewCampaign(tgt, atk, Options{Flips: 8, Windows: 4, FullEvery: 2, Seed: 13})
+		c.Run()
+		c.Settle()
+		return c.Outcome(), modelEquals(tgt.Model, snap)
+	}
+	zero, zeroIntact := run(false)
+	if zero.WeightsZeroed == 0 || zeroIntact {
+		t.Fatalf("zeroing defense should have destroyed healthy groups: %+v", zero)
+	}
+	ecc, eccIntact := run(true)
+	if ecc.WeightsZeroed != 0 || !eccIntact {
+		t.Fatalf("ECC defense must not touch weights under sigstore: %+v", ecc)
+	}
+	if ecc.GroupsCorrected != int64(ecc.SigDetected) {
+		t.Fatalf("every detected sig flip should be a class-0 repair: %+v", ecc)
+	}
+}
+
+func TestPlanVolleyOneShot(t *testing.T) {
+	tgt, _ := tinyTarget(t, false)
+	v, err := PlanVolley(tgt, "oblivious", 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 7 {
+		t.Fatalf("one-shot volley size %d, want 7", v.Size())
+	}
+	if _, err := PlanVolley(tgt, "bogus", 1, 1); err == nil {
+		t.Fatal("unknown adversary must error")
+	}
+}

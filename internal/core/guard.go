@@ -103,16 +103,19 @@ func (p *Protector) VerifyAndRecoverLayer(li int) (flagged []GroupID, zeroed int
 	defer putScratch(sc)
 	sc.shards = p.appendLayerShards(sc.shards, li)
 	flagged = p.scanShardsLocked(sc.shards, sc)
+	corrected, wrote := 0, false
 	for _, g := range flagged {
-		zeroed += p.recoverGroupLocked(g)
+		z, w, c := p.repairGroupLocked(g)
+		zeroed += z
+		wrote = wrote || w
+		if c {
+			corrected++
+		}
 	}
-	if zeroed > 0 {
-		p.Model.MarkWritten(li) // zeroing bypassed the model write path
+	if wrote {
+		p.Model.MarkWritten(li) // repair bypassed the model write path
 	}
-	if len(flagged) > 0 {
-		p.stats.groupsRecovered.Add(int64(len(flagged)))
-		p.stats.weightsZeroed.Add(int64(zeroed))
-	}
+	p.addRecoveryStats(len(flagged), corrected, zeroed)
 	return flagged, zeroed
 }
 
@@ -132,23 +135,26 @@ func (p *Protector) DetectAndRecoverExclusive() (flagged []GroupID, zeroed int) 
 	defer putScratch(sc)
 	sc.shards = p.appendShards(sc.shards)
 	flagged = p.scanShardsLocked(sc.shards, sc)
+	corrected := 0
 	for lo := 0; lo < len(flagged); {
 		hi := lo
-		layerZeroed := 0
+		layerZeroed, layerWrote := 0, false
 		for hi < len(flagged) && flagged[hi].Layer == flagged[lo].Layer {
-			layerZeroed += p.recoverGroupLocked(flagged[hi])
+			z, w, c := p.repairGroupLocked(flagged[hi])
+			layerZeroed += z
+			layerWrote = layerWrote || w
+			if c {
+				corrected++
+			}
 			hi++
 		}
-		if layerZeroed > 0 {
-			p.Model.MarkWritten(flagged[lo].Layer) // zeroing bypassed the model write path
+		if layerWrote {
+			p.Model.MarkWritten(flagged[lo].Layer) // repair bypassed the model write path
 		}
 		zeroed += layerZeroed
 		lo = hi
 	}
-	if len(flagged) > 0 {
-		p.stats.groupsRecovered.Add(int64(len(flagged)))
-		p.stats.weightsZeroed.Add(int64(zeroed))
-	}
+	p.addRecoveryStats(len(flagged), corrected, zeroed)
 	return flagged, zeroed
 }
 
@@ -166,9 +172,15 @@ type Stats struct {
 	BytesScanned int64
 	// GroupsFlagged counts signature mismatches reported across all scans.
 	GroupsFlagged int64
-	// GroupsRecovered counts groups zeroed by Recover /
-	// VerifyAndRecoverLayer.
+	// GroupsRecovered counts groups repaired (corrected or zeroed) by
+	// Recover / VerifyAndRecoverLayer.
 	GroupsRecovered int64
+	// GroupsCorrected counts flagged groups repaired in place by the ECC
+	// path (always 0 without Config.Correct); see correct.go.
+	GroupsCorrected int64
+	// GroupsZeroed counts flagged groups recovered by zeroing — the
+	// fallback with correction on, the only path without it.
+	GroupsZeroed int64
 	// WeightsZeroed counts individual weights zeroed during recovery.
 	WeightsZeroed int64
 	// Rekeys counts full signature-key rotations (Rekey calls).
@@ -183,6 +195,8 @@ func (p *Protector) Stats() Stats {
 		BytesScanned:    p.stats.bytesScanned.Load(),
 		GroupsFlagged:   p.stats.groupsFlagged.Load(),
 		GroupsRecovered: p.stats.groupsRecovered.Load(),
+		GroupsCorrected: p.stats.groupsCorrected.Load(),
+		GroupsZeroed:    p.stats.groupsZeroed.Load(),
 		WeightsZeroed:   p.stats.weightsZeroed.Load(),
 		Rekeys:          p.stats.rekeys.Load(),
 	}

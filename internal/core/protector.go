@@ -36,6 +36,12 @@ type Config struct {
 	// when protecting checkpoints far larger than RAM. The hook observes
 	// pass progress only; results are identical with or without it.
 	OnLayerScanned func(layer int)
+	// Correct enables ECC-corrected recovery: Protect additionally stores
+	// one SEC-DED Hamming check word per group, and recovery repairs
+	// single-bit-corrupted groups in place (see correct.go) instead of
+	// zeroing them. Costs 4 bytes of trusted storage per group and one
+	// extra encoding pass at protect/refresh time; scans are unaffected.
+	Correct bool
 }
 
 // DefaultConfig returns the paper's standard configuration for a given
@@ -62,6 +68,9 @@ type Protector struct {
 	Schemes []Scheme
 	// Golden holds the per-layer golden signatures.
 	Golden [][]uint8
+	// Check holds the per-layer per-group SEC-DED check words when
+	// Config.Correct is set (nil otherwise); see correct.go.
+	Check [][]uint32
 
 	// workers is the configured pool size (0 = GOMAXPROCS, resolved at
 	// scan time so a zero-valued Protector still works).
@@ -71,6 +80,9 @@ type Protector struct {
 	// onLayerScanned is Config.OnLayerScanned (nil = no per-layer
 	// completion notifications).
 	onLayerScanned func(layer int)
+	// correct is Config.Correct: recovery consults the Check words before
+	// zeroing.
+	correct bool
 
 	// mu guards dirty. Write notifications arrive via the model observer
 	// and may race with scans; the flags are the only shared mutable state.
@@ -89,6 +101,7 @@ type Protector struct {
 	// stats are the activity counters exported by Stats.
 	stats struct {
 		scans, bytesScanned, groupsFlagged, groupsRecovered, weightsZeroed, rekeys atomic.Int64
+		groupsCorrected, groupsZeroed                                              atomic.Int64
 	}
 }
 
@@ -117,6 +130,7 @@ func newProtector(m *quant.Model, cfg Config) *Protector {
 		workers:        cfg.Workers,
 		shardGroups:    cfg.ShardGroups,
 		onLayerScanned: cfg.OnLayerScanned,
+		correct:        cfg.Correct,
 		dirty:          make([]bool, len(m.Layers)),
 	}
 	// Secrets are drawn sequentially so the scheme stream depends only on
@@ -291,32 +305,42 @@ func (p *Protector) ScanDirty() []GroupID {
 	return p.scanShards(sc.shards, sc)
 }
 
-// Recover zeroes every weight of every flagged group (de-interleaving back
-// to original positions), resynchronizes the float weights, and refreshes
-// the golden signatures of the zeroed groups so subsequent scans accept the
-// recovered state. It returns the number of weights zeroed.
+// Recover repairs every flagged group and returns the number of weights
+// zeroed. Without correction (the paper's scheme) a flagged group is
+// zeroed outright: every weight is cleared (de-interleaving back to
+// original positions), the float weights resynchronized, and the group's
+// golden signature refreshed so subsequent scans accept the recovered
+// state. With Config.Correct, the group's ECC check word is consulted
+// first and single-bit-corrupted groups are restored in place — those
+// contribute nothing to the returned zeroed count (see correct.go).
 //
-// When the protector is coordinated (see Coordinate), each layer's zeroing
+// When the protector is coordinated (see Coordinate), each layer's repair
 // happens under that layer's write lock, so recovery is safe to run while
 // other goroutines read the same model for inference. Consecutive flagged
 // groups of the same layer share one lock acquisition — the flagged lists
 // produced by scans are sorted by layer, so each layer is locked once.
 func (p *Protector) Recover(flagged []GroupID) int {
 	zeroed := 0
+	corrected := 0
 	for lo := 0; lo < len(flagged); {
 		hi := lo
 		for hi < len(flagged) && flagged[hi].Layer == flagged[lo].Layer {
 			hi++
 		}
 		li := flagged[lo].Layer
-		layerZeroed := 0
+		layerZeroed, layerWrote := 0, false
 		p.guard.LockLayer(li)
 		for _, g := range flagged[lo:hi] {
-			layerZeroed += p.recoverGroupLocked(g)
+			z, w, c := p.repairGroupLocked(g)
+			layerZeroed += z
+			layerWrote = layerWrote || w
+			if c {
+				corrected++
+			}
 		}
 		p.guard.UnlockLayer(li)
-		if layerZeroed > 0 {
-			// Recovery zeroes Layer.Q directly, bypassing the quant.Model
+		if layerWrote {
+			// Recovery writes Layer.Q directly, bypassing the quant.Model
 			// write path; notify the observers so external storage (an
 			// mmap-backed checkpoint scheduling the layer for msync) and
 			// incremental scanners stay sound.
@@ -325,11 +349,21 @@ func (p *Protector) Recover(flagged []GroupID) int {
 		zeroed += layerZeroed
 		lo = hi
 	}
-	if len(flagged) > 0 {
-		p.stats.groupsRecovered.Add(int64(len(flagged)))
-		p.stats.weightsZeroed.Add(int64(zeroed))
-	}
+	p.addRecoveryStats(len(flagged), corrected, zeroed)
 	return zeroed
+}
+
+// addRecoveryStats accounts one recovery batch: n flagged groups of which
+// corrected were ECC-repaired and the rest zeroed, clearing zeroedWeights
+// individual weights.
+func (p *Protector) addRecoveryStats(n, corrected, zeroedWeights int) {
+	if n == 0 {
+		return
+	}
+	p.stats.groupsRecovered.Add(int64(n))
+	p.stats.weightsZeroed.Add(int64(zeroedWeights))
+	p.stats.groupsCorrected.Add(int64(corrected))
+	p.stats.groupsZeroed.Add(int64(n - corrected))
 }
 
 // recoverGroupLocked zeroes one flagged group and refreshes its golden

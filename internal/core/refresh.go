@@ -11,6 +11,7 @@ func (p *Protector) RefreshLayer(li int) {
 	// re-marks the layer and the next ScanDirty re-checks it.
 	p.clearDirty(li)
 	p.Golden[li] = p.Schemes[li].Signatures(p.Model.Layers[li].Q)
+	p.refreshChecksLayer(li)
 }
 
 // RefreshAll recomputes every layer's golden signatures (a full re-protect
@@ -29,6 +30,7 @@ func (p *Protector) RefreshAll() {
 			p.Model.Layers[s.layer].Q, s.lo, s.hi)
 		cd.shardDone(k)
 	})
+	p.refreshChecksAll()
 }
 
 // Rekey draws fresh per-layer keys and offsets from the scheme seeds in
@@ -36,7 +38,10 @@ func (p *Protector) RefreshAll() {
 // how long a side-channel leak of one key is useful to an attacker. The
 // protector keeps its existing model observation (no new observer is
 // registered) and its tuned Workers/ShardGroups/OnLayerScanned unless cfg
-// sets them.
+// sets them. ECC correction survives a rekey: a protector that corrects
+// stays correcting (check words are recomputed alongside the goldens)
+// regardless of cfg.Correct — a key rotation must not silently downgrade
+// the recovery mode.
 func (p *Protector) Rekey(cfg Config) {
 	p.mu.Lock()
 	if cfg.Workers == 0 {
@@ -48,10 +53,13 @@ func (p *Protector) Rekey(cfg Config) {
 	if cfg.OnLayerScanned == nil {
 		cfg.OnLayerScanned = p.onLayerScanned
 	}
+	cfg.Correct = cfg.Correct || p.correct
 	p.mu.Unlock()
 	fresh := newProtector(p.Model, cfg)
 	p.Schemes = fresh.Schemes
 	p.Golden = fresh.Golden
+	p.Check = fresh.Check
+	p.correct = fresh.correct
 	p.mu.Lock()
 	p.workers = fresh.workers
 	p.shardGroups = fresh.shardGroups

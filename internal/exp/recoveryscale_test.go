@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRecoveryScaleQuick runs the full adversary × recovery-mode grid at
+// test scale and asserts the qualitative orderings the artifact is
+// committed to demonstrate: ECC never settles below zeroing, single-bit
+// campaigns settle bit-identical under ECC, the defense-aware attackers
+// actually gain something over the oblivious baseline, and below-threshold
+// pairs survive even the final full scrub.
+func TestRecoveryScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains and evaluates the RN20s model repeatedly")
+	}
+	r := RecoveryScale(NewContext(Quick()))
+	if len(r.Runs) != 4 {
+		t.Fatalf("want 4 adversaries, got %d", len(r.Runs))
+	}
+	if r.SecondsPerFlip <= 0 || r.CapPerWindow <= 0 {
+		t.Fatalf("rowhammer pricing missing: %+v", r)
+	}
+
+	cell := func(name, mode string) RecoveryRun {
+		for _, rr := range r.Runs[name] {
+			if rr.Mode == mode {
+				return rr
+			}
+		}
+		t.Fatalf("missing cell %s/%s", name, mode)
+		return RecoveryRun{}
+	}
+
+	for _, name := range []string{"oblivious", "scrub-timer", "below-threshold", "sigstore"} {
+		zero, ecc := cell(name, "zero"), cell(name, "ecc")
+		if ecc.AccSettled < zero.AccSettled {
+			t.Errorf("%s: ECC settled %.4f below zeroing %.4f", name, ecc.AccSettled, zero.AccSettled)
+		}
+		if mounted := ecc.Outcome.Mounted + ecc.Outcome.SigMounted; mounted == 0 {
+			t.Errorf("%s: campaign mounted nothing", name)
+		}
+	}
+
+	// Single-bit-per-group campaigns must settle bit-identical under ECC
+	// (and therefore strictly beat zeroing, which destroys every flagged
+	// group).
+	for _, name := range []string{"scrub-timer", "sigstore"} {
+		ecc := cell(name, "ecc")
+		if !ecc.BitIdentical {
+			t.Errorf("%s/ecc: settled image is not bit-identical", name)
+		}
+		if ecc.Outcome.WeightsZeroed != 0 {
+			t.Errorf("%s/ecc: zeroed %d weights on a correctable campaign", name, ecc.Outcome.WeightsZeroed)
+		}
+		if zero := cell(name, "zero"); zero.Outcome.WeightsZeroed == 0 {
+			t.Errorf("%s/zero: zeroing recovery destroyed nothing", name)
+		}
+	}
+
+	// Scrub-timer campaigns are all-MSB, one per group: every flip is
+	// detected once the settle scan runs, and none survive it.
+	st := cell("scrub-timer", "zero")
+	if st.Outcome.Detected != st.Outcome.Mounted || st.Outcome.Survived != 0 {
+		t.Errorf("scrub-timer/zero: detected %d of %d, survived %d — MSB flips must be all-or-nothing",
+			st.Outcome.Detected, st.Outcome.Mounted, st.Outcome.Survived)
+	}
+
+	// Below-threshold evades even the settle scan: survivors must remain.
+	bt := cell("below-threshold", "zero")
+	if bt.Outcome.Survived == 0 {
+		t.Error("below-threshold: no pairs survived the final full scrub")
+	}
+	if bt.Outcome.Survived >= bt.Outcome.Mounted {
+		t.Errorf("below-threshold: survived %d of %d mounted — detection never fired",
+			bt.Outcome.Survived, bt.Outcome.Mounted)
+	}
+
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_recoveryscale.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+}

@@ -1,9 +1,12 @@
 // Package memsim is the system-level timing substrate standing in for the
 // paper's gem5 simulation (8× Arm Cortex-M4F @ 1 GHz, 32 KB L1 + 64 KB L2;
 // see DESIGN.md §1). It provides a trace-driven set-associative cache
-// hierarchy and a calibrated cost model that prices inference, RADAR
-// detection and CRC detection over the *full-size* ResNet-20/ResNet-18
-// layer shape tables — reproducing Table IV and Table V.
+// hierarchy, a bank/row-buffer DRAM device, and a calibrated cost model
+// that prices inference, RADAR detection and CRC detection over the
+// *full-size* ResNet-20/ResNet-18 layer shape tables — reproducing
+// Table IV and Table V. The same substrate prices the attacker:
+// internal/adversary's RateModel derives rowhammer flip throughput from
+// DRAMTiming's row-conflict latency and CostModel's clock.
 package memsim
 
 // Cache is a set-associative cache with LRU replacement, simulated at
@@ -134,7 +137,11 @@ func (h *Hierarchy) StreamBytes(addr uint64, n int) uint64 {
 }
 
 // StrideBytes simulates n accesses with the given byte stride starting at
-// addr (the interleaved gather pattern) and returns total latency.
+// addr (the interleaved gather pattern) and returns total latency. The
+// production cost model prices interleave gathers analytically (see the
+// interleave surcharge constants in costmodel.go); this trace-driven form
+// is kept as the reference those constants are validated against in the
+// package tests.
 func (h *Hierarchy) StrideBytes(addr uint64, n, stride int) uint64 {
 	var total uint64
 	for i := 0; i < n; i++ {

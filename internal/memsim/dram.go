@@ -6,7 +6,11 @@ package memsim
 // It refines the flat DRAMLat of Hierarchy for traffic-pattern studies
 // (sequential streams hit the row buffer almost always; interleaved
 // gathers with large strides conflict constantly — the microarchitectural
-// root of the paper's asymmetric interleave cost).
+// root of the paper's asymmetric interleave cost). It also prices the
+// attacker: alternating activations of two rows in one bank are all row
+// conflicts, which is what makes rowhammer both effective and slow, and
+// internal/adversary's RateModel turns that conflict latency into a
+// flips-per-scrub-window budget.
 type DRAMTiming struct {
 	// Banks is the number of banks.
 	Banks int

@@ -60,6 +60,7 @@ type adminResponse struct {
 //	POST   /v1/admin/rekey           — rotate protection secrets live ({"model"})
 //	POST   /v1/admin/models/{name}   — hot-add a model ({"source"}; needs a provider)
 //	DELETE /v1/admin/models/{name}   — hot-remove a model (drains first)
+//	POST   /v1/admin/inject          — mount an adversary volley ({"model","adversary","flips","seed"})
 //	GET    /v1/metrics               — Prometheus text exposition, all models
 //	GET    /v1/debug/traces          — recent per-request stage traces (?n=K)
 //
@@ -76,6 +77,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models/{model}", s.handleModel)
 	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	mux.HandleFunc("POST /v1/admin/rekey", s.handleRekey)
+	mux.HandleFunc("POST /v1/admin/inject", s.handleInject)
 	mux.HandleFunc("POST /v1/admin/models/{name}", s.handleAddModel)
 	mux.HandleFunc("DELETE /v1/admin/models/{name}", s.handleRemoveModel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -206,6 +208,34 @@ func (s *Service) handleRekey(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, adminResponse{Results: reports})
+}
+
+// injectRequest is the body of POST /v1/admin/inject: which adversary to
+// run against which model (empty: default model), its flip budget, and
+// the plan seed (0 = fixed default plan).
+type injectRequest struct {
+	Model     string `json:"model,omitempty"`
+	Adversary string `json:"adversary"`
+	Flips     int    `json:"flips"`
+	Seed      int64  `json:"seed,omitempty"`
+}
+
+func (s *Service) handleInject(w http.ResponseWriter, r *http.Request) {
+	var req injectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	if req.Flips <= 0 {
+		httpError(w, fmt.Errorf("serve: inject needs a positive flip budget, got %d", req.Flips))
+		return
+	}
+	rep, err := s.InjectAdversary(req.Model, req.Adversary, req.Flips, req.Seed)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 // addModelRequest is the body of POST /v1/admin/models/{name}: the opaque

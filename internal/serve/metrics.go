@@ -38,6 +38,7 @@ type metrics struct {
 	verifyZeroed  *obs.Counter
 
 	injections *obs.Counter
+	advFlips   *obs.Counter
 	rekeys     *obs.Counter
 
 	latency   *obs.Histogram // end-to-end seconds, enqueue to answer
@@ -61,6 +62,7 @@ func newMetrics(reg *obs.Registry, model string) *metrics {
 		verifyFlagged: reg.Counter("radar_verify_flagged_total", "Groups flagged by fetch-path verification.", "model").With(model),
 		verifyZeroed:  reg.Counter("radar_verify_zeroed_total", "Weights zeroed by fetch-path recovery.", "model").With(model),
 		injections:    reg.Counter("radar_injections_total", "Attack injection rounds mounted on the live model.", "model").With(model),
+		advFlips:      reg.Counter("radar_adversary_flips_total", "Bit flips mounted on the live model by injected adversary volleys.", "model").With(model),
 		rekeys:        reg.Counter("radar_rekeys_total", "Live rotations of the model's protection secrets.", "model").With(model),
 		latency:       reg.Histogram("radar_request_latency_seconds", "End-to-end request latency, enqueue to answer.", latencyBuckets, "model").With(model),
 		occupancy:     reg.Histogram("radar_batch_occupancy", "Requests coalesced per executed forward pass.", occupancyBuckets, "model").With(model),
@@ -85,8 +87,12 @@ func (s *Server) registerFuncs(reg *obs.Registry, model string) {
 		Func(func() float64 { return float64(s.prot.Stats().BytesScanned) }, model)
 	reg.Counter("radar_groups_flagged_total", "Signature mismatches across all scans.", "model").
 		Func(func() float64 { return float64(s.prot.Stats().GroupsFlagged) }, model)
-	reg.Counter("radar_groups_recovered_total", "Groups recovered (zeroed) after flagging.", "model").
+	reg.Counter("radar_groups_recovered_total", "Groups recovered (corrected or zeroed) after flagging.", "model").
 		Func(func() float64 { return float64(s.prot.Stats().GroupsRecovered) }, model)
+	reg.Counter("radar_groups_corrected_total", "Flagged groups repaired in place by the ECC correction path.", "model").
+		Func(func() float64 { return float64(s.prot.Stats().GroupsCorrected) }, model)
+	reg.Counter("radar_groups_zeroed_total", "Flagged groups recovered by zeroing.", "model").
+		Func(func() float64 { return float64(s.prot.Stats().GroupsZeroed) }, model)
 	reg.Counter("radar_weights_zeroed_total", "Individual weights zeroed during recovery.", "model").
 		Func(func() float64 { return float64(s.prot.Stats().WeightsZeroed) }, model)
 	reg.Counter("radar_gemm_stages_total", "Quantized conv stages executed.", "model").
@@ -163,6 +169,11 @@ type Snapshot struct {
 	ProtectorScans  int64 `json:"protector_scans"`
 	GroupsFlagged   int64 `json:"groups_flagged"`
 	GroupsRecovered int64 `json:"groups_recovered"`
+	// GroupsCorrected / GroupsZeroed split recoveries between the ECC
+	// in-place repair path and the zeroing fallback (corrected is always 0
+	// for models hosted without correction).
+	GroupsCorrected int64 `json:"groups_corrected"`
+	GroupsZeroed    int64 `json:"groups_zeroed"`
 	WeightsZeroed   int64 `json:"weights_zeroed"`
 	// ScanBytes counts weight bytes covered by all protection scans;
 	// ScanBytesPerSec divides it by uptime — the sustained scan throughput
@@ -193,6 +204,8 @@ func (s *Server) Snapshot() Snapshot {
 		ProtectorScans:  st.Scans,
 		GroupsFlagged:   st.GroupsFlagged,
 		GroupsRecovered: st.GroupsRecovered,
+		GroupsCorrected: st.GroupsCorrected,
+		GroupsZeroed:    st.GroupsZeroed,
 		WeightsZeroed:   st.WeightsZeroed,
 		ScanBytes:       st.BytesScanned,
 	}

@@ -56,6 +56,21 @@ func TestMetricNamingLint(t *testing.T) {
 			t.Errorf("metric family %q violates the radar_ naming convention", name)
 		}
 	}
+	// The recovery-split and adversary families are load-bearing for the
+	// smoke tooling; their absence is a wiring bug, not a style issue.
+	have := make(map[string]bool, len(names))
+	for _, name := range names {
+		have[name] = true
+	}
+	for _, want := range []string{
+		"radar_groups_corrected_total",
+		"radar_groups_zeroed_total",
+		"radar_adversary_flips_total",
+	} {
+		if !have[want] {
+			t.Errorf("metric family %q is not registered", want)
+		}
+	}
 }
 
 // TestHTTPMetricsAndTraces drives the two observability endpoints over the

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"radar/internal/adversary"
 	"radar/internal/core"
 	"radar/internal/qinfer"
 	"radar/internal/quant"
@@ -180,14 +181,17 @@ func (r *Registry) each(name string, f func(*hostedModel) error) error {
 // ModelInfo is one model's identity, configuration and live metrics — an
 // entry of GET /v1/models and of Service.Models.
 type ModelInfo struct {
-	Name          string   `json:"name"`
-	Layers        int      `json:"layers"`
-	Groups        int      `json:"groups"`
-	InputShape    []int    `json:"input_shape,omitempty"`
-	VerifiedFetch bool     `json:"verified_fetch"`
-	ScrubMs       int64    `json:"scrub_interval_ms"`
-	Healthy       bool     `json:"healthy"`
-	Metrics       Snapshot `json:"metrics"`
+	Name          string `json:"name"`
+	Layers        int    `json:"layers"`
+	Groups        int    `json:"groups"`
+	InputShape    []int  `json:"input_shape,omitempty"`
+	VerifiedFetch bool   `json:"verified_fetch"`
+	// Correcting reports whether this model's recovery consults per-group
+	// ECC check words before falling back to zeroing.
+	Correcting bool     `json:"correcting"`
+	ScrubMs    int64    `json:"scrub_interval_ms"`
+	Healthy    bool     `json:"healthy"`
+	Metrics    Snapshot `json:"metrics"`
 }
 
 // info snapshots one hosted model.
@@ -198,6 +202,7 @@ func (hm *hostedModel) info() ModelInfo {
 		Groups:        hm.prot.NumGroups(),
 		InputShape:    hm.srv.cfg.InputShape,
 		VerifiedFetch: hm.srv.cfg.VerifiedFetch,
+		Correcting:    hm.prot.Correcting(),
 		ScrubMs:       hm.srv.cfg.ScrubInterval.Milliseconds(),
 		Healthy:       hm.srv.Healthy(),
 		Metrics:       hm.srv.Snapshot(),
@@ -255,6 +260,36 @@ func rekeySeed() int64 {
 
 // inject runs an adversary against this model under write exclusion.
 func (hm *hostedModel) inject(f func(*quant.Model)) { hm.srv.Inject(f) }
+
+// injectAdversary plans one volley of the named adversary against this
+// model and mounts it under whole-model write exclusion — the live-attack
+// hook behind POST /v1/admin/inject. The volley is planned outside the
+// exclusive section (planning only reads geometry) and mounted inside it.
+func (hm *hostedModel) injectAdversary(name string, flips int, seed int64) (InjectReport, error) {
+	tgt := adversary.Target{Model: hm.prot.Model, Prot: hm.prot}
+	v, err := adversary.PlanVolley(tgt, name, flips, seed)
+	if err != nil {
+		return InjectReport{}, err
+	}
+	hm.srv.Inject(func(*quant.Model) { adversary.Mount(tgt, v) })
+	hm.srv.met.advFlips.Add(int64(v.Size()))
+	return InjectReport{
+		Model:       hm.name,
+		Adversary:   name,
+		WeightFlips: len(v.Weights),
+		SigFlips:    len(v.Signatures),
+	}, nil
+}
+
+// InjectReport is one model's answer to an adversary injection.
+type InjectReport struct {
+	Model     string `json:"model"`
+	Adversary string `json:"adversary"`
+	// WeightFlips / SigFlips count the mounted weight-bit and
+	// golden-signature-bit flips.
+	WeightFlips int `json:"weight_flips"`
+	SigFlips    int `json:"sig_flips,omitempty"`
+}
 
 // AdminReport is one model's answer to an admin scrub or rekey.
 type AdminReport struct {

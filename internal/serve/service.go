@@ -435,6 +435,20 @@ func (s *Service) Inject(model string, f func(*quant.Model)) error {
 	return nil
 }
 
+// InjectAdversary plans and mounts one volley of the named adversary
+// (see internal/adversary) against the named model's live weight image —
+// or, for the sigstore adversary, against its golden-signature store —
+// under whole-model write exclusion (empty model: default model). The
+// smoke and chaos tooling uses it to exercise the recovery paths end to
+// end through HTTP.
+func (s *Service) InjectAdversary(model, adversary string, flips int, seed int64) (InjectReport, error) {
+	hm, err := s.reg.lookup(model)
+	if err != nil {
+		return InjectReport{}, err
+	}
+	return hm.injectAdversary(adversary, flips, seed)
+}
+
 // Protector exposes the named model's protector (empty name: default
 // model), e.g. for stats or a quiesced final sweep in tests.
 func (s *Service) Protector(model string) (*core.Protector, error) {

@@ -3,8 +3,11 @@
 # smoke-tests the v1 HTTP control plane end to end: /v1/models must list
 # both models, a sync infer must classify, an async job must round-trip
 # submit → poll → done, a second job must cancel via DELETE, an admin
-# rekey must answer rekeyed=true, a model must hot-add and hot-remove, and
-# the removed pre-v1 shims must answer 404.
+# rekey must answer rekeyed=true, a model must hot-add and hot-remove, an
+# injected adversary campaign must land on the right recovery path (model
+# a boots with -correct: ECC repairs, zero weights zeroed; model b is
+# zeroing-only: groups destroyed), and the removed pre-v1 shims must
+# answer 404.
 # Used by `make serve-smoke` and the CI serve-integration job.
 set -euo pipefail
 
@@ -12,7 +15,7 @@ BIN=${1:-./radar-serve}
 ADDR=127.0.0.1:18080
 LOG=$(mktemp)
 
-"$BIN" -model a=tiny -model b=tiny -addr "$ADDR" -scrub 50ms >"$LOG" 2>&1 &
+"$BIN" -model a=tiny -model b=tiny -correct a -addr "$ADDR" -scrub 50ms >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; cat "$LOG"' EXIT
 
@@ -128,7 +131,37 @@ for stage in queue batch verify forward; do
         || { echo "traces missing stage $stage"; echo "$traces"; exit 1; }
 done
 
+# Injected adversary campaigns land on the right recovery path. Model a
+# runs ECC-corrected recovery (-correct a survives the earlier rekey): a
+# sigstore volley against its golden store is repaired in place — groups
+# corrected, nothing zeroed. Model b is zeroing-only: an oblivious weight
+# volley gets its flagged groups destroyed.
+curl -fs -X POST -d '{"model":"a","adversary":"sigstore","flips":3,"seed":7}' "http://$ADDR/v1/admin/inject" \
+    | grep -q '"sig_flips": 3' || { echo "sigstore inject on a failed"; exit 1; }
+curl -fs -X POST -d '{"model":"b","adversary":"oblivious","flips":4,"seed":9}' "http://$ADDR/v1/admin/inject" \
+    | grep -q '"weight_flips": 4' || { echo "oblivious inject on b failed"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"model":"a","adversary":"bogus","flips":3}' "http://$ADDR/v1/admin/inject")
+[ "$code" = "400" ] || { echo "bogus adversary answered $code, want 400"; exit 1; }
+curl -fs -X POST -d '{"full":true}' "http://$ADDR/v1/admin/scrub" >/dev/null \
+    || { echo "post-inject scrub failed"; exit 1; }
+metrics=$(curl -fs "http://$ADDR/v1/metrics")
+echo "$metrics" | grep -q '^radar_adversary_flips_total{model="a"} 3$' \
+    || { echo "adversary flip counter for a off"; echo "$metrics" | grep radar_adversary; exit 1; }
+corrected=$(echo "$metrics" | sed -n 's/^radar_groups_corrected_total{model="a"} //p')
+[ -n "$corrected" ] && [ "$corrected" -gt 0 ] || { echo "model a corrected nothing: '$corrected'"; exit 1; }
+echo "$metrics" | grep -q '^radar_groups_zeroed_total{model="a"} 0$' \
+    || { echo "ECC model a zeroed groups"; echo "$metrics" | grep radar_groups; exit 1; }
+zeroed=$(echo "$metrics" | sed -n 's/^radar_groups_zeroed_total{model="b"} //p')
+[ -n "$zeroed" ] && [ "$zeroed" -gt 0 ] || { echo "model b zeroed nothing: '$zeroed'"; exit 1; }
+echo "$metrics" | grep -q '^radar_groups_corrected_total{model="b"} 0$' \
+    || { echo "zeroing-only model b corrected groups"; echo "$metrics" | grep radar_groups; exit 1; }
+
+# Model a's weights were never touched by the sigstore campaign: it must
+# still classify.
+curl -fs -X POST -d "$payload" "http://$ADDR/v1/models/a/infer" | grep -q '"class"' \
+    || { echo "post-inject infer on a failed"; exit 1; }
+
 kill -TERM "$PID"
 wait "$PID" 2>/dev/null || true
 trap - EXIT
-echo "serve smoke OK (2 models, sync + async + cancel + hot add/remove + admin rekey/scrub + metrics/traces, shims gone)"
+echo "serve smoke OK (2 models, sync + async + cancel + hot add/remove + admin rekey/scrub + adversary inject ECC/zeroing split + metrics/traces, shims gone)"
